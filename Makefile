@@ -1,0 +1,30 @@
+# Convenience targets for the FUIoV reproduction.
+
+.PHONY: install test bench bench-smoke examples experiments clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/storage_savings.py
+	python examples/poisoning_recovery.py
+	python examples/detect_and_unlearn.py
+	python examples/unlearning_service.py
+	python examples/dynamic_iov.py
+
+experiments:
+	python -m repro.eval all --out results/
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

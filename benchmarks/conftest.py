@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+Experiment benchmarks run each table/figure regeneration exactly once
+(``benchmark.pedantic(rounds=1)``) — the measured quantity is the
+wall-clock cost of reproducing that artifact at the selected scale —
+and write the result record to ``benchmarks/results/<name>.json`` so
+EXPERIMENTS.md can be refreshed from the same source.
+
+Scale: ``REPRO_SCALE`` env var; defaults to ``ci`` (minutes for the
+whole suite).  Use ``REPRO_SCALE=smoke`` for a fast sanity pass or
+``REPRO_SCALE=paper`` for the full n=100/CNN setting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.config import current_scale
+from repro.utils.serialization import save_json
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return current_scale(default="ci")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer for experiment result records."""
+
+    def _save(name: str, record: dict) -> None:
+        save_json(os.path.join(RESULTS_DIR, f"{name}.json"), record)
+
+    return _save

@@ -1,0 +1,114 @@
+"""Benchmarks: extension experiments beyond the paper's evaluation.
+
+- **detection**: close the "once the attacker is detected" loop from the
+  stored record alone (precision/recall vs ground truth).
+- **verification**: canary membership-inference check that forgetting
+  actually removes memorization.
+- **noniid**: recovery robustness under Dirichlet label skew.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_detection, run_noniid, run_verification
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_detection(benchmark, scale, save_result):
+    result = benchmark.pedantic(lambda: run_detection(scale=scale), rounds=1, iterations=1)
+    save_result("detection", result)
+    m = result["measured"]
+    # At ci scale the sign-disagreement detector is exact; allow slack
+    # at other scales but demand it catches at least half the attackers
+    # without drowning in false positives.
+    assert m["recall"] >= 0.5, m
+    assert m["precision"] >= 0.5, m
+    if "asr_after_recover" in m:
+        assert m["asr_after_recover"] < m["asr_before"], m
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_verification(benchmark, scale, save_result):
+    result = benchmark.pedantic(lambda: run_verification(scale=scale), rounds=1, iterations=1)
+    save_result("verification", result)
+    m = result["measured"]
+    # Memorization is visible before, reduced after, and provably gone
+    # at the backtracked point.
+    assert m["advantage_before"] > 0.55, m
+    assert m["advantage_after"] < m["advantage_before"], m
+    assert abs(m["advantage_backtracked"] - 0.5) < 0.1, m
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_noniid(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: run_noniid(scale=scale, alphas=(100.0, 0.3)), rounds=1, iterations=1
+    )
+    save_result("noniid", result)
+    m = result["measured"]
+    # Recovery still functions under heavy skew (no collapse to chance).
+    assert m["alpha=0.3"]["recovered"] > 0.25, m
+    # And near-IID recovery is at least as good as the skewed one.
+    assert m["alpha=100.0"]["recovered"] >= m["alpha=0.3"]["recovered"] - 0.05, m
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_cost(benchmark, scale, save_result):
+    from repro.eval.experiments import run_cost
+
+    result = benchmark.pedantic(lambda: run_cost(scale=scale), rounds=1, iterations=1)
+    save_result("cost", result)
+    m = result["measured"]
+    # The paper's cost story: ours needs no vehicle work at all and an
+    # order of magnitude less server storage than full-gradient methods.
+    assert m["ours"]["client_gradient_calls"] == 0
+    assert m["ours"]["upload_bytes"] == 0
+    assert m["ours"]["server_storage_bytes"] * 10 < m["fedrecover"]["server_storage_bytes"]
+    assert m["retrain"]["client_gradient_calls"] > m["fedrecover"]["client_gradient_calls"] > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_robust_agg(benchmark, scale, save_result):
+    from repro.eval.experiments import run_robust_agg
+
+    result = benchmark.pedantic(lambda: run_robust_agg(scale=scale), rounds=1, iterations=1)
+    save_result("robust_agg", result)
+    m = result["measured"]
+    # Unlearning composes with robust aggregation: under every rule the
+    # recovery restores a large fraction of the trained accuracy.
+    for rule, row in m.items():
+        assert row["recovered"] > 0.6 * row["trained"], (rule, row)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_recovery_trace(benchmark, scale, save_result):
+    from repro.eval.experiments import run_recovery_trace
+
+    result = benchmark.pedantic(
+        lambda: run_recovery_trace(scale=scale), rounds=1, iterations=1
+    )
+    save_result("recovery_trace", result)
+    trace = result["measured"]
+    assert len(trace) >= 3
+    # Recovery climbs: the final point clearly beats the backtracked start.
+    assert result["final_recovered_accuracy"] > result["backtracked_accuracy"] + 0.1
+    # And the second half of the trace is (weakly) better than the first.
+    accs = [p["accuracy"] for p in trace]
+    half = len(accs) // 2
+    assert sum(accs[half:]) / len(accs[half:]) >= sum(accs[:half]) / half - 0.05
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_communication(benchmark, scale, save_result):
+    from repro.eval.experiments import run_communication
+
+    result = benchmark.pedantic(
+        lambda: run_communication(scale=scale), rounds=1, iterations=1
+    )
+    save_result("communication", result)
+    m = result["measured"]
+    for model in ("mnist_cnn", "gtsrb_cnn"):
+        full = m[f"{model}/float32"]
+        sign = m[f"{model}/sign2bit"]
+        # Sign uplink fits many more rounds into one coverage transit.
+        assert sign["rounds_per_transit"] > 2 * full["rounds_per_transit"]
+        assert sign["upload_bytes"] * 15 < full["upload_bytes"]

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are classic pytest-benchmark timings (many rounds): conv
+forward/backward, a full FL round, FedAvg aggregation, the L-BFGS
+Hessian-vector product, and recovery-round estimation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset
+from repro.fl import VehicleClient, fedavg
+from repro.nn import mnist_cnn
+from repro.unlearning.estimator import GradientEstimator
+from repro.unlearning.lbfgs import LbfgsBuffer
+
+
+@pytest.fixture(scope="module")
+def cnn():
+    return mnist_cnn(np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(1)
+    return rng.random((128, 1, 28, 28)), rng.integers(0, 10, size=128)
+
+
+@pytest.mark.benchmark(group="micro-nn")
+def test_cnn_forward(benchmark, cnn, batch):
+    x, _ = batch
+    out = benchmark(cnn.forward, x, False)
+    assert out.shape == (128, 10)
+
+
+@pytest.mark.benchmark(group="micro-nn")
+def test_cnn_forward_backward(benchmark, cnn, batch):
+    x, y = batch
+    loss, grad = benchmark(cnn.loss_and_flat_grad, x, y)
+    assert np.isfinite(loss)
+
+
+@pytest.mark.benchmark(group="micro-fl")
+def test_client_round(benchmark, cnn, batch):
+    x, y = batch
+    ds = ArrayDataset(x=x, y=y, num_classes=10)
+    client = VehicleClient(0, ds, np.random.default_rng(2), batch_size=128)
+    params = cnn.get_flat_params()
+    grad = benchmark(client.compute_update, params, cnn)
+    assert grad.shape == (cnn.num_params,)
+
+
+@pytest.mark.benchmark(group="micro-fl")
+def test_fedavg_100_clients(benchmark):
+    rng = np.random.default_rng(3)
+    grads = [rng.normal(size=52138) for _ in range(100)]
+    weights = list(rng.integers(100, 300, size=100))
+    out = benchmark(fedavg, grads, weights)
+    assert out.shape == (52138,)
+
+
+@pytest.mark.benchmark(group="micro-unlearn")
+def test_lbfgs_hvp(benchmark):
+    rng = np.random.default_rng(4)
+    d = 52138  # paper-profile MNIST CNN size
+    buf = LbfgsBuffer(buffer_size=2)
+    for _ in range(2):
+        s = rng.normal(size=d)
+        buf.add_pair(s, s + 0.1 * rng.normal(size=d))
+    v = rng.normal(size=d)
+    out = benchmark(buf.hvp, v)
+    assert out.shape == (d,)
+
+
+@pytest.mark.benchmark(group="micro-unlearn")
+def test_estimation_round(benchmark):
+    """One client's Eq. 6 + Eq. 7 estimate at paper-profile model size."""
+    rng = np.random.default_rng(5)
+    d = 52138
+    est = GradientEstimator(buffer_size=2, clip_threshold=1.0)
+    for _ in range(2):
+        s = rng.normal(size=d)
+        est.seed_pair(s, s)
+    stored = rng.choice([-1.0, 0.0, 1.0], size=d)
+    w_bar = rng.normal(size=d)
+    w = w_bar + 0.01 * rng.normal(size=d)
+    out = benchmark(est.estimate, stored, w_bar, w)
+    assert (np.abs(out) <= 1.0).all()

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table I (post-unlearning accuracy, all methods).
+
+Paper reference (Table I):
+
+    MNIST : retrain 0.873 | fedrecover 0.869 | fedrecovery 0.825 | ours 0.859
+    GTSRB : retrain 0.837 | fedrecover 0.766 | fedrecovery 0.702 | ours 0.747
+
+Reproduced shape assertions: the paper's method (a) recovers most of
+the trained model's accuracy using only 2-bit directions and no client
+help, (b) beats FedRecovery, and (c) sits at or below the
+full-gradient, client-assisted methods.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=scale), rounds=1, iterations=1
+    )
+    save_result("table1", result)
+    for dataset, row in result["measured"].items():
+        trained = row["trained"]
+        # (a) most of the accuracy is recovered, server-only.
+        assert row["ours"] > 0.75 * trained, (dataset, row)
+        assert row["ours_client_calls"] == 0
+        # (b) better than the approximate-unlearning baseline.
+        assert row["ours"] >= row["fedrecovery"] - 0.02, (dataset, row)
+        # (c) the expensive exact methods stay at least as good
+        #     (small tolerance: they are within noise of each other).
+        assert row["retrain"] >= row["ours"] - 0.05, (dataset, row)

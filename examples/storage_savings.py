@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The ~95 % storage-savings claim, measured.
+
+The paper's server stores, per client per round, only the thresholded
+sign of each gradient element in 2 bits.  This example quantifies the
+claim across model sizes — from the paper's small CNNs up to a
+million-parameter model — and shows the exact bytes a 100-vehicle,
+100-round deployment would need under each scheme.
+
+Run:  python examples/storage_savings.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import gtsrb_cnn, mlp, mnist_cnn
+from repro.storage import (
+    FullGradientStore,
+    SignGradientStore,
+    packed_size_bytes,
+    storage_savings_ratio,
+)
+from repro.utils.rng import SeedSequenceTree
+
+
+def human(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024:
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def main() -> None:
+    tree = SeedSequenceTree(0)
+    models = {
+        "paper MNIST CNN (2 conv + 2 fc)": mnist_cnn(tree.rng("m1")),
+        "paper GTSRB CNN (2 conv + 1 fc)": gtsrb_cnn(tree.rng("m2")),
+        "MLP 400-64-10": mlp(tree.rng("m3"), 400, 10, hidden=64),
+        "wide MLP (1M params)": mlp(tree.rng("m4"), 1024, 10, hidden=1000),
+    }
+
+    num_vehicles, num_rounds = 100, 100
+    print(f"deployment: {num_vehicles} vehicles x {num_rounds} rounds\n")
+    header = f"{'model':35} {'params':>9} {'full store':>12} {'sign store':>12} {'saved':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, model in models.items():
+        d = model.num_params
+        full = d * 4 * num_vehicles * num_rounds
+        sign = packed_size_bytes(d) * num_vehicles * num_rounds
+        print(
+            f"{name:35} {d:>9} {human(full):>12} {human(sign):>12} "
+            f"{storage_savings_ratio(d):>7.2%}"
+        )
+
+    # Measured on a live store, not just arithmetic:
+    print("\nlive check on actual stores (one 100k-element gradient):")
+    rng = tree.rng("grad")
+    gradient = rng.normal(size=100_000) * 0.01
+    full_store, sign_store = FullGradientStore(), SignGradientStore(delta=1e-6)
+    full_store.put(0, 0, gradient)
+    sign_store.put(0, 0, gradient)
+    print(f"  full:  {human(full_store.nbytes())}")
+    print(f"  sign:  {human(sign_store.nbytes())}")
+    print(f"  saved: {1 - sign_store.nbytes() / full_store.nbytes():.2%}")
+
+    decoded = sign_store.get(0, 0)
+    agreement = float(np.mean(np.sign(gradient) == decoded))
+    print(f"  direction agreement with true sign: {agreement:.2%}")
+
+
+if __name__ == "__main__":
+    main()

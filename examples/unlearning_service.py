@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Operating an RSU unlearning service over its stored record.
+
+Shows the high-level API a deployment would use: train once, wrap the
+stored record in an :class:`~repro.unlearning.UnlearningService`, and
+run the paper's three workflows as single calls — including persisting
+the record to disk and resuming later (erasure requests arrive months
+after training).
+
+Run:  python examples/unlearning_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.datasets import make_synthetic_mnist, partition_iid, train_test_split
+from repro.fl import FederatedSimulation, ParticipationSchedule, VehicleClient
+from repro.nn import accuracy, mlp
+from repro.storage import SignGradientStore
+from repro.unlearning import UnlearningService
+from repro.utils.rng import SeedSequenceTree
+
+NUM_CLIENTS = 8
+NUM_ROUNDS = 100
+
+
+def main() -> None:
+    tree = SeedSequenceTree(3)
+    dataset = make_synthetic_mnist(1600, tree.rng("data"), image_size=20)
+    train, test = train_test_split(dataset, 0.2, tree.rng("split"))
+    shards = partition_iid(train, NUM_CLIENTS, tree.rng("partition"))
+    clients = [
+        VehicleClient(cid, shards[cid], tree.rng(f"client-{cid}"), batch_size=64)
+        for cid in range(NUM_CLIENTS)
+    ]
+    model = mlp(tree.rng("model"), 400, 10, hidden=32)
+    schedule = ParticipationSchedule.with_events(
+        range(NUM_CLIENTS), joins={6: 2, 7: 5}
+    )
+    sim = FederatedSimulation(
+        model, clients, learning_rate=1e-3, schedule=schedule,
+        gradient_store=SignGradientStore(delta=1e-6), test_set=test, eval_every=50,
+    )
+    record = sim.run(NUM_ROUNDS)
+
+    def test_acc(params):
+        model.set_flat_params(params)
+        return accuracy(model.predict(test.x), test.y)
+
+    service = UnlearningService(record=record, model=model, clip_threshold=5.0)
+    print(f"trained model accuracy: {test_acc(record.final_params()):.3f}")
+    print(f"server storage: {service.storage_bytes()}")
+
+    # Workflow 1: vehicle 7 requests erasure.
+    outcome = service.handle_erasure_request(7)
+    print(
+        f"erased vehicle 7 (joined round 5): accuracy {test_acc(outcome.params):.3f}, "
+        f"purged {outcome.purged_records} stored records, "
+        f"{outcome.result.client_gradient_calls} client computations"
+    )
+
+    # Persist, simulate a server restart, resume.
+    with tempfile.TemporaryDirectory() as tmp:
+        service.persist(tmp)
+        resumed = UnlearningService.restore(tmp, model, clip_threshold=5.0)
+        print(f"resumed from disk; erased so far: {resumed.erased_clients}")
+
+        # Workflow 2: vehicle 6 has left the IoV for good.
+        outcome = resumed.handle_departed_vehicle(6)
+        print(
+            f"erased departed vehicle 6 (joined round 2): "
+            f"accuracy {test_acc(outcome.params):.3f}, "
+            f"active clients remaining: {resumed.active_clients()}"
+        )
+
+        # Workflow 3: attacker scan (clean run -> nothing flagged).
+        scan = resumed.scan_and_purge_attackers()
+        print(f"attacker scan on clean record: {'nothing flagged' if scan is None else scan.forgotten}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Poisoning attacks and attack metrics (§V-A.2 of the paper).
+
+Two data-poisoning attacks drive the unlearning-effectiveness
+experiments:
+
+- :class:`LabelFlipAttack` — flip the labels of a source class to a
+  target class (paper: ``7 -> 1`` on MNIST).
+- :class:`BackdoorAttack` — stamp a small square trigger on a fraction
+  of training images and relabel them to a target class (paper: 3x3
+  square, target class 2).
+
+Plus the evaluation metric :func:`attack_success_rate` and the
+malicious-client sampler used to mark 20 % of vehicles as attackers.
+"""
+
+from repro.attacks.backdoor import BackdoorAttack
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.metrics import attack_success_rate, sample_malicious_clients
+
+__all__ = [
+    "BackdoorAttack",
+    "LabelFlipAttack",
+    "attack_success_rate",
+    "sample_malicious_clients",
+]

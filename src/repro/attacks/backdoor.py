@@ -1,0 +1,130 @@
+"""Backdoor (trigger) poisoning attack.
+
+§V-A.2: "We introduced a 3x3 pixel-sized black square as a trigger into
+a random selection of images from the MNIST dataset.  These images were
+then relabeled with the target class '2'."
+
+On the synthetic dataset the background is near-black, so a literal
+black square would be invisible; the trigger intensity is therefore a
+parameter defaulting to 1.0 (a bright square), which plays the same
+role: a small, fixed, input-space pattern the model learns to associate
+with the target class.  This substitution is noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+
+__all__ = ["BackdoorAttack"]
+
+
+class BackdoorAttack:
+    """Stamp a square trigger and relabel to ``target_class``.
+
+    Parameters
+    ----------
+    target_class:
+        Label assigned to triggered images (paper default 2).
+    trigger_size:
+        Side length of the square trigger in pixels (paper default 3).
+    poison_fraction:
+        Fraction of a client's training set that gets triggered.
+    trigger_value:
+        Pixel intensity written into the trigger patch.
+    corner:
+        Which corner hosts the trigger: ``"br"``, ``"bl"``, ``"tr"``,
+        ``"tl"``.
+    margin:
+        Pixels between the trigger and the image border.
+    """
+
+    def __init__(
+        self,
+        target_class: int = 2,
+        trigger_size: int = 3,
+        poison_fraction: float = 0.5,
+        trigger_value: float = 1.0,
+        corner: str = "br",
+        margin: int = 1,
+    ):
+        if trigger_size <= 0:
+            raise ValueError("trigger_size must be positive")
+        if not 0.0 < poison_fraction <= 1.0:
+            raise ValueError(f"poison_fraction must be in (0, 1], got {poison_fraction}")
+        if corner not in ("br", "bl", "tr", "tl"):
+            raise ValueError(f"corner must be one of br/bl/tr/tl, got {corner!r}")
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.target_class = target_class
+        self.trigger_size = trigger_size
+        self.poison_fraction = poison_fraction
+        self.trigger_value = trigger_value
+        self.corner = corner
+        self.margin = margin
+
+    def _patch_slices(self, height: int, width: int):
+        s, m = self.trigger_size, self.margin
+        if s + m > min(height, width):
+            raise ValueError(
+                f"trigger (size {s} + margin {m}) does not fit a {height}x{width} image"
+            )
+        rows = slice(m, m + s) if self.corner[0] == "t" else slice(height - m - s, height - m)
+        cols = slice(m, m + s) if self.corner[1] == "l" else slice(width - m - s, width - m)
+        return rows, cols
+
+    def stamp(self, images: np.ndarray) -> np.ndarray:
+        """Return a copy of ``images`` (N, C, H, W) with the trigger applied."""
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+        rows, cols = self._patch_slices(images.shape[2], images.shape[3])
+        stamped = images.copy()
+        stamped[:, :, rows, cols] = self.trigger_value
+        return stamped
+
+    def poison(
+        self, dataset: ArrayDataset, rng: np.random.Generator
+    ) -> ArrayDataset:
+        """Poison a random ``poison_fraction`` of ``dataset``."""
+        if self.target_class >= dataset.num_classes:
+            raise ValueError(
+                f"target class {self.target_class} out of range for "
+                f"{dataset.num_classes} classes"
+            )
+        n = len(dataset)
+        take = max(1, int(round(n * self.poison_fraction)))
+        chosen = rng.choice(n, size=min(take, n), replace=False)
+        x = dataset.x.copy()
+        y = dataset.y.copy()
+        rows, cols = self._patch_slices(x.shape[2], x.shape[3])
+        x_sel = x[chosen]
+        x_sel[:, :, rows, cols] = self.trigger_value
+        x[chosen] = x_sel
+        y[chosen] = self.target_class
+        return ArrayDataset(
+            x=x, y=y, num_classes=dataset.num_classes, name=f"{dataset.name}-backdoored"
+        )
+
+    def trigger_test_set(self, dataset: ArrayDataset) -> ArrayDataset:
+        """Build the ASR evaluation set: every *non-target-class* test
+        image, stamped with the trigger, labelled with the target class.
+
+        Excluding images whose true class is already the target keeps
+        the ASR from being inflated by correct-but-benign predictions.
+        """
+        keep = np.flatnonzero(dataset.y != self.target_class)
+        if keep.size == 0:
+            raise ValueError("test set contains only the target class")
+        x = self.stamp(dataset.x[keep])
+        y = np.full(keep.size, self.target_class, dtype=np.int64)
+        return ArrayDataset(
+            x=x, y=y, num_classes=dataset.num_classes, name=f"{dataset.name}-triggered"
+        )
+
+    def describe(self) -> str:
+        """One-line attack description for experiment logs."""
+        return (
+            f"backdoor {self.trigger_size}x{self.trigger_size}@{self.corner} "
+            f"-> class {self.target_class} (fraction={self.poison_fraction})"
+        )

@@ -1,0 +1,94 @@
+"""Label-flip poisoning attack.
+
+§V-A.2: "adversaries change the labels of a subset of the training
+data, essentially 'flipping' them to incorrect values.  Specifically,
+we altered the labels for images that originally represented the number
+'7' to a target label '1'."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+
+__all__ = ["LabelFlipAttack"]
+
+
+class LabelFlipAttack:
+    """Flip labels of ``source_class`` to ``target_class``.
+
+    Parameters
+    ----------
+    source_class, target_class:
+        The flip ``source -> target`` (paper default ``7 -> 1``).
+    flip_fraction:
+        Fraction of the source-class samples flipped (paper flips all).
+    oversample:
+        How many copies of each flipped sample the attacker keeps in
+        its shard.  Label-flipping 20 % of clients' data barely moves a
+        FedAvg aggregate (the honest 80 % dominates the source class);
+        real attackers therefore emphasize the poisoned samples.  With
+        ``oversample > 1`` the malicious shard is flipped-sample-heavy,
+        which reproduces the paper's high pre-unlearning attack success
+        rate at the paper's 20 % malicious-client ratio.
+    """
+
+    def __init__(
+        self,
+        source_class: int = 7,
+        target_class: int = 1,
+        flip_fraction: float = 1.0,
+        oversample: int = 1,
+    ):
+        if source_class == target_class:
+            raise ValueError("source and target class must differ")
+        if not 0.0 < flip_fraction <= 1.0:
+            raise ValueError(f"flip_fraction must be in (0, 1], got {flip_fraction}")
+        if oversample < 1:
+            raise ValueError(f"oversample must be >= 1, got {oversample}")
+        self.source_class = source_class
+        self.target_class = target_class
+        self.flip_fraction = flip_fraction
+        self.oversample = oversample
+
+    def poison(
+        self, dataset: ArrayDataset, rng: Optional[np.random.Generator] = None
+    ) -> ArrayDataset:
+        """Return a poisoned copy of ``dataset``.
+
+        ``rng`` is only needed when ``flip_fraction < 1``.
+        """
+        if max(self.source_class, self.target_class) >= dataset.num_classes:
+            raise ValueError(
+                "attack classes out of range for dataset with "
+                f"{dataset.num_classes} classes"
+            )
+        y = dataset.y.copy()
+        source_idx = np.flatnonzero(y == self.source_class)
+        if self.flip_fraction < 1.0:
+            if rng is None:
+                raise ValueError("rng required when flip_fraction < 1")
+            take = max(1, int(round(source_idx.size * self.flip_fraction)))
+            source_idx = rng.choice(source_idx, size=min(take, source_idx.size), replace=False)
+        y[source_idx] = self.target_class
+        x = dataset.x.copy()
+        if self.oversample > 1 and source_idx.size:
+            extra = np.tile(source_idx, self.oversample - 1)
+            x = np.concatenate([x, x[extra]], axis=0)
+            y = np.concatenate([y, y[extra]], axis=0)
+        return ArrayDataset(
+            x=x,
+            y=y,
+            num_classes=dataset.num_classes,
+            name=f"{dataset.name}-flipped",
+        )
+
+    def describe(self) -> str:
+        """One-line attack description for experiment logs."""
+        return (
+            f"label-flip {self.source_class}->{self.target_class} "
+            f"(fraction={self.flip_fraction})"
+        )

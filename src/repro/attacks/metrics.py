@@ -1,0 +1,52 @@
+"""Attack metrics and malicious-client sampling.
+
+The paper's recovery metric for poisoning is the *attack success rate*:
+"the probability that the model recognizes the poisoned image as the
+target label of the malicious attacker" (§V-A.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+from repro.nn.model import Sequential
+
+__all__ = ["attack_success_rate", "sample_malicious_clients"]
+
+
+def attack_success_rate(
+    model: Sequential, poisoned_eval: ArrayDataset, target_class: int
+) -> float:
+    """Fraction of ``poisoned_eval`` images predicted as ``target_class``.
+
+    For a backdoor attack pass
+    :meth:`~repro.attacks.backdoor.BackdoorAttack.trigger_test_set`;
+    for a label flip pass the clean test images of the *source* class.
+    """
+    if len(poisoned_eval) == 0:
+        raise ValueError("poisoned evaluation set is empty")
+    predictions = model.predict(poisoned_eval.x)
+    return float(np.mean(predictions == target_class))
+
+
+def sample_malicious_clients(
+    num_clients: int, malicious_fraction: float, rng: np.random.Generator
+) -> List[int]:
+    """Uniformly sample the malicious client ids (paper: 20 %).
+
+    Always returns at least one client when ``malicious_fraction > 0``.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0.0 <= malicious_fraction <= 1.0:
+        raise ValueError(
+            f"malicious_fraction must be in [0, 1], got {malicious_fraction}"
+        )
+    if malicious_fraction == 0.0:
+        return []
+    count = max(1, int(round(num_clients * malicious_fraction)))
+    chosen = rng.choice(num_clients, size=min(count, num_clients), replace=False)
+    return sorted(int(c) for c in chosen)

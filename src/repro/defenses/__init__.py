@@ -1,0 +1,28 @@
+"""Detection of malicious clients from stored training history.
+
+The paper's poisoning-recovery scenario starts from "once the attacker
+is detected" (§I) — detection itself is delegated to prior work
+(FLDetector, Zhang et al., KDD'22).  This package closes that loop with
+a history-based detector in FLDetector's style, built on the same
+L-BFGS machinery as the recovery scheme: a benign client's update is
+predictable from its own history via the quasi-Newton model
+``ĝ_t = g_{t−1} + H̃ (w_t − w_{t−1})``; attackers' updates are not.
+
+Because the detector consumes the *stored* record, it runs offline on
+exactly the data the unlearning server already keeps — including the
+2-bit sign store (directions are enough to rank suspiciousness).
+"""
+
+from repro.defenses.detection import (
+    DetectionReport,
+    client_prediction_inconsistency,
+    client_suspicion_scores,
+    detect_malicious_clients,
+)
+
+__all__ = [
+    "DetectionReport",
+    "client_prediction_inconsistency",
+    "client_suspicion_scores",
+    "detect_malicious_clients",
+]

@@ -1,0 +1,46 @@
+"""Evaluation harness: calibrated experiment configs, workload
+construction, and one runner per table/figure of the paper (plus
+ablations and the dynamic-IoV extension).  ``python -m repro.eval``
+is the CLI."""
+
+from repro.eval.config import ExperimentConfig, available_scales, config_for, current_scale
+from repro.eval.experiments import (
+    EXPERIMENT_RUNNERS,
+    run_ablation_buffer,
+    run_ablation_clipping,
+    run_ablation_dropout,
+    run_ablation_refresh,
+    run_ablation_sign,
+    run_dynamic_iov,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_storage,
+    run_table1,
+)
+from repro.eval.reporting import format_result, format_table
+from repro.eval.workloads import Workload, build_workload, train_workload
+
+__all__ = [
+    "EXPERIMENT_RUNNERS",
+    "ExperimentConfig",
+    "Workload",
+    "available_scales",
+    "build_workload",
+    "config_for",
+    "current_scale",
+    "format_result",
+    "format_table",
+    "run_ablation_buffer",
+    "run_ablation_clipping",
+    "run_ablation_dropout",
+    "run_ablation_refresh",
+    "run_ablation_sign",
+    "run_dynamic_iov",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_storage",
+    "run_table1",
+    "train_workload",
+]

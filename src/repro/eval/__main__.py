@@ -1,0 +1,71 @@
+"""Command-line entry point: ``python -m repro.eval <experiment>``.
+
+Examples
+--------
+::
+
+    python -m repro.eval table1 --scale ci
+    python -m repro.eval fig2 --scale smoke --seed 7
+    python -m repro.eval all --out results/
+
+The ``fuiov`` console script (installed by the package) is an alias.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.eval.config import available_scales
+from repro.eval.experiments import EXPERIMENT_RUNNERS
+from repro.eval.reporting import format_result
+from repro.utils.logging import configure
+from repro.utils.serialization import save_json
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_RUNNERS) + ["all"],
+        help="which table/figure/ablation to run ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=available_scales(),
+        default=None,
+        help="scale profile (default: REPRO_SCALE env var or 'ci')",
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write <experiment>.json result records into",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    args = parser.parse_args(argv)
+
+    if not args.quiet:
+        configure()
+
+    names = sorted(EXPERIMENT_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENT_RUNNERS[name]
+        result = runner(scale=args.scale, seed=args.seed)
+        print(format_result(result))
+        print()
+        if args.out:
+            path = os.path.join(args.out, f"{name}.json")
+            save_json(path, result)
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Plain-text rendering of experiment results.
+
+Formats the dicts produced by :mod:`repro.eval.experiments` as the
+tables/series the paper reports, with the paper's values alongside for
+eyeball comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["format_result", "format_table"]
+
+
+def format_table(
+    headers: List[str], rows: List[List[str]], title: str = ""
+) -> str:
+    """Monospace table with column auto-width."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(x: Any) -> str:
+    if isinstance(x, float):
+        return f"{x:.3f}"
+    return str(x)
+
+
+def _format_table1(result: Dict[str, Any]) -> str:
+    methods = ["retrain", "fedrecover", "fedrecovery", "ours"]
+    headers = ["dataset"] + [f"{m} (paper)" for m in methods] + ["trained"]
+    rows = []
+    for dataset, measured in result["measured"].items():
+        paper = result["paper"][dataset]
+        row = [dataset]
+        for m in methods:
+            row.append(f"{measured[m]:.3f} ({paper[m]:.3f})")
+        row.append(f"{measured['trained']:.3f}")
+        rows.append(row)
+    return format_table(headers, rows, "Table I — post-unlearning accuracy, measured (paper)")
+
+
+def _format_fig1(result: Dict[str, Any]) -> str:
+    headers = ["attack", "ASR before", "ASR after forget", "ASR after recover", "acc after recover"]
+    rows = []
+    for attack, m in result["measured"].items():
+        rows.append(
+            [
+                attack,
+                f"{m['asr_before']:.3f}",
+                f"{m['asr_after_forget']:.3f}",
+                f"{m['asr_after_recover']:.3f}",
+                f"{m['accuracy_after_recover']:.3f}",
+            ]
+        )
+    return format_table(headers, rows, "Fig. 1 — attack success rate through the pipeline")
+
+
+def _optimum(result: Dict[str, Any], prefix: str, key: str) -> Any:
+    """Look up e.g. measured_optimum_L / measured_optimum_l / ..._delta."""
+    for candidate in (f"{prefix}_{key}", f"{prefix}_{key.lower()}"):
+        if candidate in result:
+            return result[candidate]
+    return "?"
+
+
+def _format_sweep(result: Dict[str, Any], key: str, title: str) -> str:
+    headers = [key, "accuracy"]
+    rows = [[_fmt(p[key]), f"{p['accuracy']:.3f}"] for p in result["measured"]]
+    lines = [format_table(headers, rows, title)]
+    lines.append(
+        f"measured optimum {key} = {_fmt(_optimum(result, 'measured_optimum', key))}"
+        f" (paper: {_fmt(_optimum(result, 'paper_optimum', key))})"
+    )
+    return "\n".join(lines)
+
+
+def _format_storage(result: Dict[str, Any]) -> str:
+    lines = [
+        "Storage — sign store vs full float32 store",
+        f"model parameters: {result['model_params']}",
+        f"full store bytes: {result['full_gradient_bytes']}",
+        f"sign store bytes: {result['sign_gradient_bytes']}",
+        f"measured savings: {result['measured_savings']:.4f} (paper claim ~{result['paper_claim']:.2f})",
+    ]
+    return "\n".join(lines)
+
+
+def _format_generic(result: Dict[str, Any]) -> str:
+    lines = [f"{result.get('experiment', 'experiment')} (scale={result.get('scale')})"]
+    measured = result.get("measured", {})
+    if isinstance(measured, dict):
+        for label, value in measured.items():
+            lines.append(f"  {label}: {_fmt(value)}")
+    for key, value in result.items():
+        if key in ("experiment", "scale", "seed", "measured", "paper", "timings"):
+            continue
+        lines.append(f"{key}: {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def format_result(result: Dict[str, Any]) -> str:
+    """Render any experiment result dict for the terminal."""
+    experiment = result.get("experiment", "")
+    if experiment == "table1":
+        return _format_table1(result)
+    if experiment == "fig1":
+        return _format_fig1(result)
+    if experiment == "fig2":
+        return _format_sweep(result, "L", "Fig. 2 — accuracy vs clip threshold L")
+    if experiment == "fig3":
+        return _format_sweep(result, "delta", "Fig. 3 — accuracy vs sign threshold δ")
+    if experiment == "storage":
+        return _format_storage(result)
+    return _format_generic(result)

@@ -1,0 +1,99 @@
+"""Unlearning-efficacy verification via membership inference.
+
+"The model after unlearning should resemble the one that has been
+trained for the same number of rounds on remaining clients" (§III-B).
+Attack-success-rate only verifies this for poisoning; for benign
+privacy erasure the standard check is a *membership-inference* test:
+a model that memorized the forgotten client's data assigns it lower
+loss than fresh data from the same distribution; after true unlearning
+the forgotten data should be statistically indistinguishable from
+held-out data.
+
+:func:`membership_advantage` computes the loss-threshold MIA AUC
+(rank statistic — threshold-free): 0.5 means indistinguishable
+(forgotten), values near 1.0 mean the member data is recognizably
+"in" the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+from repro.nn.model import Sequential
+
+__all__ = ["per_sample_losses", "membership_advantage", "verify_unlearning"]
+
+
+def per_sample_losses(model: Sequential, dataset: ArrayDataset, batch_size: int = 256) -> np.ndarray:
+    """Cross-entropy loss of each sample under ``model``."""
+    if len(dataset) == 0:
+        raise ValueError("dataset is empty")
+    losses = np.empty(len(dataset))
+    for start in range(0, len(dataset), batch_size):
+        xb = dataset.x[start : start + batch_size]
+        yb = dataset.y[start : start + batch_size]
+        probs = model.predict_proba(xb)
+        idx = np.arange(yb.shape[0])
+        losses[start : start + batch_size] = -np.log(
+            np.clip(probs[idx, yb], 1e-300, None)
+        )
+    return losses
+
+
+def membership_advantage(
+    model: Sequential, member_data: ArrayDataset, nonmember_data: ArrayDataset
+) -> float:
+    """Loss-threshold membership-inference AUC.
+
+    AUC = P(loss(member) < loss(non-member)) over random pairs,
+    computed exactly via the Mann-Whitney U statistic.  0.5 =
+    indistinguishable; 1.0 = members perfectly recognizable.
+    """
+    member_losses = per_sample_losses(model, member_data)
+    nonmember_losses = per_sample_losses(model, nonmember_data)
+    # U statistic: count pairs where member loss < non-member loss.
+    combined = np.concatenate([member_losses, nonmember_losses])
+    ranks = combined.argsort().argsort().astype(np.float64) + 1.0
+    # Tie handling: average ranks for equal values.
+    order = np.argsort(combined)
+    sorted_vals = combined[order]
+    avg_ranks = np.empty_like(ranks)
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        avg_ranks[order[i : j + 1]] = avg
+        i = j + 1
+    n_m = member_losses.size
+    n_n = nonmember_losses.size
+    rank_sum_members = float(avg_ranks[:n_m].sum())
+    u_members = rank_sum_members - n_m * (n_m + 1) / 2.0
+    # Members are "in" when their loss is LOWER -> advantage is the
+    # probability that a member outranks (lower loss than) a non-member.
+    return 1.0 - u_members / (n_m * n_n)
+
+
+def verify_unlearning(
+    model: Sequential,
+    params_before: np.ndarray,
+    params_after: np.ndarray,
+    forgotten_data: ArrayDataset,
+    holdout_data: ArrayDataset,
+) -> Dict[str, float]:
+    """MIA advantage on the forgotten client's data before vs after
+    unlearning.  A successful unlearning drives the advantage toward
+    0.5 (or at least strictly down)."""
+    model.set_flat_params(params_before)
+    before = membership_advantage(model, forgotten_data, holdout_data)
+    model.set_flat_params(params_after)
+    after = membership_advantage(model, forgotten_data, holdout_data)
+    return {
+        "advantage_before": before,
+        "advantage_after": after,
+        "advantage_drop": before - after,
+    }

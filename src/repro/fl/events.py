@@ -1,0 +1,135 @@
+"""Participation schedules — when vehicles join, leave, and drop out.
+
+The IoV characteristic the paper targets is that "vehicles can join and
+leave FL at any time".  A :class:`ParticipationSchedule` captures one
+realization of that dynamism; the FL simulation replays it.  Schedules
+come from three places:
+
+- :meth:`ParticipationSchedule.always_on` — the static setting used for
+  baseline comparisons ("we assume that vehicles do not exit FL in the
+  comparison methods", §V-A.3);
+- :meth:`ParticipationSchedule.with_events` — explicit joins/leaves,
+  used to place the forgotten client's join at round ``F``;
+- :func:`repro.iov.scenario.schedule_from_mobility` — generated from
+  the mobility/coverage model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["ParticipationSchedule"]
+
+
+@dataclass
+class ParticipationSchedule:
+    """One realization of join/leave/dropout dynamics.
+
+    Attributes
+    ----------
+    join_rounds:
+        ``client_id ->`` first round of participation.
+    leave_rounds:
+        ``client_id ->`` first round the client is gone (absent key or
+        ``None`` means the client never leaves).
+    dropouts:
+        Set of ``(round, client_id)`` transient no-shows.
+    """
+
+    join_rounds: Dict[int, int]
+    leave_rounds: Dict[int, Optional[int]] = field(default_factory=dict)
+    dropouts: Set[Tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for cid, join in self.join_rounds.items():
+            if join < 0:
+                raise ValueError(f"client {cid} has negative join round {join}")
+            leave = self.leave_rounds.get(cid)
+            if leave is not None and leave <= join:
+                raise ValueError(
+                    f"client {cid} leaves at {leave}, not after join {join}"
+                )
+        for _, cid in self.dropouts:
+            if cid not in self.join_rounds:
+                raise ValueError(f"dropout recorded for unknown client {cid}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def always_on(cls, client_ids: Iterable[int]) -> "ParticipationSchedule":
+        """All clients participate in every round."""
+        return cls(join_rounds={cid: 0 for cid in client_ids})
+
+    @classmethod
+    def with_events(
+        cls,
+        client_ids: Iterable[int],
+        joins: Optional[Mapping[int, int]] = None,
+        leaves: Optional[Mapping[int, int]] = None,
+        dropouts: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> "ParticipationSchedule":
+        """All-on baseline overridden by explicit joins/leaves/dropouts."""
+        join_rounds = {cid: 0 for cid in client_ids}
+        if joins:
+            join_rounds.update({int(c): int(r) for c, r in joins.items()})
+        leave_rounds: Dict[int, Optional[int]] = {}
+        if leaves:
+            leave_rounds.update({int(c): int(r) for c, r in leaves.items()})
+        return cls(
+            join_rounds=join_rounds,
+            leave_rounds=leave_rounds,
+            dropouts=set((int(r), int(c)) for r, c in (dropouts or ())),
+        )
+
+    @classmethod
+    def random_dropouts(
+        cls,
+        client_ids: Iterable[int],
+        rounds: int,
+        dropout_rate: float,
+        rng: np.random.Generator,
+        joins: Optional[Mapping[int, int]] = None,
+        leaves: Optional[Mapping[int, int]] = None,
+    ) -> "ParticipationSchedule":
+        """Schedule where each (round, client) independently drops out
+        with probability ``dropout_rate`` — the simple connectivity
+        model used by robustness experiments."""
+        if not 0.0 <= dropout_rate < 1.0:
+            raise ValueError(f"dropout_rate must be in [0, 1), got {dropout_rate}")
+        schedule = cls.with_events(client_ids, joins=joins, leaves=leaves)
+        ids = sorted(schedule.join_rounds)
+        for t in range(rounds):
+            mask = rng.random(len(ids)) < dropout_rate
+            for cid, dropped in zip(ids, mask):
+                if dropped and schedule.is_member(cid, t):
+                    schedule.dropouts.add((t, cid))
+        return schedule
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def client_ids(self) -> List[int]:
+        """All scheduled clients, sorted."""
+        return sorted(self.join_rounds)
+
+    def is_member(self, client_id: int, round_index: int) -> bool:
+        """Joined and not yet left (dropouts ignored)."""
+        if client_id not in self.join_rounds:
+            return False
+        if round_index < self.join_rounds[client_id]:
+            return False
+        leave = self.leave_rounds.get(client_id)
+        return leave is None or round_index < leave
+
+    def participants_at(self, round_index: int) -> List[int]:
+        """Clients contributing a gradient at ``round_index``."""
+        return [
+            cid
+            for cid in self.client_ids()
+            if self.is_member(cid, round_index)
+            and (round_index, cid) not in self.dropouts
+        ]

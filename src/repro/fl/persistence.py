@@ -1,0 +1,155 @@
+"""Disk persistence of the server's training record.
+
+Unlearning requests arrive long after training finishes (a vehicle
+exercising its right to be forgotten months later; an attack detected
+retrospectively), so the RSU must keep its history across restarts.
+:func:`save_record` / :func:`load_record` serialize a complete
+:class:`~repro.fl.history.TrainingRecord` to a directory:
+
+```
+<dir>/
+  manifest.json        # rounds, lr, aggregator, store kind, sizes, ledger
+  checkpoints.npz      # w_0 ... w_T (float32)
+  gradients.npz        # per (round, client) payloads
+```
+
+Formats are plain JSON + ``.npz`` — no pickle, so records are safe to
+load and portable across NumPy versions.  Both store kinds round-trip
+exactly: the sign store's packed 2-bit payloads are written verbatim,
+preserving the storage savings on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.fl.history import TrainingRecord
+from repro.fl.membership import MembershipLedger
+from repro.storage.store import (
+    FullGradientStore,
+    ModelCheckpointStore,
+    SignGradientStore,
+)
+from repro.utils.serialization import load_json, save_json
+
+__all__ = ["save_record", "load_record"]
+
+_MANIFEST = "manifest.json"
+_CHECKPOINTS = "checkpoints.npz"
+_GRADIENTS = "gradients.npz"
+
+
+def _ledger_to_dict(ledger: MembershipLedger) -> Dict:
+    return {
+        str(cid): {
+            "join_round": ledger.join_round(cid),
+            "leave_round": ledger.leave_round(cid),
+            "dropout_rounds": sorted(ledger._records[cid].dropout_rounds),
+        }
+        for cid in ledger.known_clients()
+    }
+
+
+def _ledger_from_dict(data: Dict) -> MembershipLedger:
+    ledger = MembershipLedger()
+    for cid_str, rec in sorted(data.items(), key=lambda kv: int(kv[0])):
+        cid = int(cid_str)
+        ledger.join(cid, int(rec["join_round"]))
+        if rec["leave_round"] is not None:
+            ledger.leave(cid, int(rec["leave_round"]))
+        for t in rec["dropout_rounds"]:
+            ledger.record_dropout(cid, int(t))
+    return ledger
+
+
+def save_record(record: TrainingRecord, directory: str) -> None:
+    """Write ``record`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+
+    checkpoints = {
+        f"w_{t}": record.checkpoints.get(t).astype(np.float32)
+        for t in record.checkpoints.rounds()
+    }
+    np.savez_compressed(os.path.join(directory, _CHECKPOINTS), **checkpoints)
+
+    store = record.gradients
+    gradient_arrays: Dict[str, np.ndarray] = {}
+    lengths: Dict[str, int] = {}
+    if isinstance(store, SignGradientStore):
+        kind = "sign"
+        for (t, cid), (packed, length) in store._records.items():
+            gradient_arrays[f"g_{t}_{cid}"] = packed
+            lengths[f"g_{t}_{cid}"] = length
+    elif isinstance(store, FullGradientStore):
+        kind = "full"
+        for (t, cid), gradient in store._records.items():
+            gradient_arrays[f"g_{t}_{cid}"] = gradient
+    else:
+        raise TypeError(f"cannot persist gradient store of type {type(store).__name__}")
+    np.savez_compressed(os.path.join(directory, _GRADIENTS), **gradient_arrays)
+
+    save_json(
+        os.path.join(directory, _MANIFEST),
+        {
+            "format_version": 1,
+            "num_rounds": record.num_rounds,
+            "learning_rate": record.learning_rate,
+            "aggregator": record.aggregator,
+            "store_kind": kind,
+            "sign_delta": getattr(store, "delta", None),
+            "sign_lengths": lengths,
+            "client_sizes": {str(c): n for c, n in record.client_sizes.items()},
+            "ledger": _ledger_to_dict(record.ledger),
+            "accuracy_history": list(record.accuracy_history),
+            "metadata": dict(record.metadata),
+        },
+    )
+
+
+def load_record(directory: str) -> TrainingRecord:
+    """Load a record previously written by :func:`save_record`."""
+    manifest = load_json(os.path.join(directory, _MANIFEST))
+    if manifest.get("format_version") != 1:
+        raise ValueError(
+            f"unsupported record format {manifest.get('format_version')!r}"
+        )
+
+    checkpoints = ModelCheckpointStore()
+    with np.load(os.path.join(directory, _CHECKPOINTS)) as data:
+        for name in data.files:
+            checkpoints.put(int(name.split("_")[1]), data[name])
+
+    kind = manifest["store_kind"]
+    if kind == "sign":
+        store = SignGradientStore(delta=float(manifest["sign_delta"]))
+        lengths = manifest["sign_lengths"]
+        with np.load(os.path.join(directory, _GRADIENTS)) as data:
+            for name in data.files:
+                _, t, cid = name.split("_")
+                store._records[(int(t), int(cid))] = (
+                    data[name].astype(np.uint8),
+                    int(lengths[name]),
+                )
+    elif kind == "full":
+        store = FullGradientStore()
+        with np.load(os.path.join(directory, _GRADIENTS)) as data:
+            for name in data.files:
+                _, t, cid = name.split("_")
+                store._records[(int(t), int(cid))] = data[name].astype(np.float32)
+    else:
+        raise ValueError(f"unknown store kind {kind!r} in manifest")
+
+    return TrainingRecord(
+        checkpoints=checkpoints,
+        gradients=store,
+        ledger=_ledger_from_dict(manifest["ledger"]),
+        client_sizes={int(c): int(n) for c, n in manifest["client_sizes"].items()},
+        num_rounds=int(manifest["num_rounds"]),
+        learning_rate=float(manifest["learning_rate"]),
+        aggregator=manifest["aggregator"],
+        accuracy_history=[float(a) for a in manifest["accuracy_history"]],
+        metadata=dict(manifest["metadata"]),
+    )

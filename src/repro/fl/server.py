@@ -1,0 +1,121 @@
+"""The RSU server.
+
+Owns the global model parameters, applies the aggregation rule (Eq. 1)
+and the update rule (Eq. 2), and records the history every unlearning
+method later consumes: per-round checkpoints ``w_t`` and per-client
+stored updates (sign directions under the paper's scheme).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fl.aggregation import AGGREGATORS
+from repro.fl.membership import MembershipLedger
+from repro.storage.store import (
+    GradientStore,
+    ModelCheckpointStore,
+    make_gradient_store,
+)
+
+__all__ = ["RsuServer"]
+
+
+class RsuServer:
+    """Road-Side Unit acting as the FL server.
+
+    Parameters
+    ----------
+    initial_params:
+        ``w_0`` — the freshly initialized global model as a flat vector.
+    learning_rate:
+        η in Eq. 2.
+    gradient_store:
+        Where client updates are recorded.  Defaults to the paper's
+        :class:`~repro.storage.store.SignGradientStore` with
+        ``delta=1e-6``.
+    aggregator:
+        Aggregation rule name (see :data:`repro.fl.aggregation.AGGREGATORS`).
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        learning_rate: float,
+        gradient_store: Optional[GradientStore] = None,
+        aggregator: str = "fedavg",
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {aggregator!r}; choose from {sorted(AGGREGATORS)}"
+            )
+        self.params = np.asarray(initial_params, dtype=np.float64).copy()
+        self.learning_rate = learning_rate
+        self.aggregator_name = aggregator
+        self._aggregate = AGGREGATORS[aggregator]
+        self.round_index = 0
+        self.checkpoints = ModelCheckpointStore()
+        self.gradients = gradient_store or make_gradient_store("sign")
+        self.ledger = MembershipLedger()
+        self.client_sizes: Dict[int, int] = {}
+        self.checkpoints.put(0, self.params)
+
+    # ------------------------------------------------------------------
+    # membership plumbing
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: int, num_samples: int, join_round: int) -> None:
+        """Record a vehicle joining FL (its |D_i| and join round F)."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self.ledger.join(client_id, join_round)
+        self.client_sizes[client_id] = int(num_samples)
+
+    def client_left(self, client_id: int, round_index: int) -> None:
+        """Record a vehicle leaving FL."""
+        self.ledger.leave(client_id, round_index)
+
+    def client_dropped_out(self, client_id: int, round_index: int) -> None:
+        """Record a transient dropout (member, but no gradient this round)."""
+        self.ledger.record_dropout(client_id, round_index)
+
+    # ------------------------------------------------------------------
+    # the training round (Eq. 1 + Eq. 2)
+    # ------------------------------------------------------------------
+    def skip_round(self) -> np.ndarray:
+        """Advance the round counter without an update.
+
+        Happens in sparse IoV scenarios when no vehicle is connected:
+        the RSU idles, the global model is unchanged, and the
+        checkpoint for the next round equals the current one.
+        """
+        self.round_index += 1
+        self.checkpoints.put(self.round_index, self.params)
+        return self.params.copy()
+
+    def run_round(self, updates: Dict[int, np.ndarray]) -> np.ndarray:
+        """Aggregate ``updates`` (client_id -> gradient) and step the model.
+
+        Records each raw update into the gradient store *before*
+        aggregation — the store is what compresses (the server never
+        keeps the raw gradients beyond this call, which is the storage
+        model of §IV).  Returns the new global parameters.
+        """
+        if not updates:
+            raise ValueError(f"round {self.round_index}: no client updates")
+        t = self.round_index
+        for client_id, gradient in updates.items():
+            if client_id not in self.client_sizes:
+                raise KeyError(f"update from unregistered client {client_id}")
+            self.gradients.put(t, client_id, gradient)
+        ordered = sorted(updates)
+        gradients = [updates[cid] for cid in ordered]
+        weights = [self.client_sizes[cid] for cid in ordered]
+        aggregated = self._aggregate(gradients, weights)
+        self.params = self.params - self.learning_rate * aggregated
+        self.round_index = t + 1
+        self.checkpoints.put(self.round_index, self.params)
+        return self.params.copy()

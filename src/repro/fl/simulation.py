@@ -1,0 +1,162 @@
+"""The federated training loop.
+
+:class:`FederatedSimulation` wires clients, server, and a participation
+schedule into the round loop of §III-A, producing the
+:class:`~repro.fl.history.TrainingRecord` the unlearning methods
+consume.
+
+One scratch model instance is shared by all clients (each sets the
+global parameters before its gradient pass), so memory stays flat in
+the number of vehicles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+from repro.fl.client import VehicleClient
+from repro.fl.events import ParticipationSchedule
+from repro.fl.history import TrainingRecord
+from repro.fl.server import RsuServer
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+from repro.storage.store import GradientStore
+from repro.utils.logging import get_logger
+
+__all__ = ["FederatedSimulation"]
+
+_log = get_logger("fl.simulation")
+
+
+class FederatedSimulation:
+    """Run FL over a participation schedule and record history.
+
+    Parameters
+    ----------
+    model:
+        Scratch model defining the architecture; its initial parameters
+        become ``w_0``.
+    clients:
+        All vehicles that will ever participate (the schedule decides
+        when each is active).
+    learning_rate:
+        η for the server update (Eq. 2).
+    schedule:
+        Join/leave/dropout plan; defaults to everyone-always-on.
+    gradient_store:
+        Server-side update store; defaults to the paper's sign store.
+    aggregator:
+        Aggregation rule name.
+    test_set:
+        Optional held-out set; when given, test accuracy is recorded
+        every ``eval_every`` rounds into the training record.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        clients: Sequence[VehicleClient],
+        learning_rate: float,
+        schedule: Optional[ParticipationSchedule] = None,
+        gradient_store: Optional[GradientStore] = None,
+        aggregator: str = "fedavg",
+        test_set: Optional[ArrayDataset] = None,
+        eval_every: int = 10,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        ids = [c.client_id for c in clients]
+        if len(set(ids)) != len(ids):
+            raise ValueError("client ids must be unique")
+        self.model = model
+        self.clients: Dict[int, VehicleClient] = {c.client_id: c for c in clients}
+        self.schedule = schedule or ParticipationSchedule.always_on(ids)
+        unknown = set(self.schedule.client_ids()) - set(ids)
+        if unknown:
+            raise ValueError(f"schedule references unknown clients {sorted(unknown)}")
+        self.server = RsuServer(
+            initial_params=model.get_flat_params(),
+            learning_rate=learning_rate,
+            gradient_store=gradient_store,
+            aggregator=aggregator,
+        )
+        self.test_set = test_set
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        self.eval_every = eval_every
+        self._registered: set = set()
+        self._left: set = set()
+
+    # ------------------------------------------------------------------
+    def _sync_membership(self, round_index: int) -> List[int]:
+        """Apply this round's join/leave/dropout events to the server;
+        return the ids contributing a gradient this round."""
+        participants: List[int] = []
+        for cid in self.schedule.client_ids():
+            join = self.schedule.join_rounds[cid]
+            if join == round_index and cid not in self._registered:
+                self.server.register_client(
+                    cid, self.clients[cid].num_samples, join_round=round_index
+                )
+                self._registered.add(cid)
+            leave = self.schedule.leave_rounds.get(cid)
+            if (
+                leave is not None
+                and leave == round_index
+                and cid in self._registered
+                and cid not in self._left
+            ):
+                self.server.client_left(cid, round_index)
+                self._left.add(cid)
+            if cid in self._registered and self.schedule.is_member(cid, round_index):
+                if (round_index, cid) in self.schedule.dropouts:
+                    self.server.client_dropped_out(cid, round_index)
+                else:
+                    participants.append(cid)
+        return participants
+
+    def run(
+        self,
+        num_rounds: int,
+        round_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> TrainingRecord:
+        """Execute ``num_rounds`` and return the training record."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        accuracy_history: List[float] = []
+        for t in range(num_rounds):
+            participants = self._sync_membership(t)
+            if not participants:
+                # Sparse IoV rounds with no connected vehicle: the RSU idles.
+                _log.debug("round %d: no participants, skipping", t)
+                new_params = self.server.skip_round()
+            else:
+                updates: Dict[int, np.ndarray] = {}
+                global_params = self.server.params
+                for cid in participants:
+                    updates[cid] = self.clients[cid].compute_update(
+                        global_params, self.model
+                    )
+                new_params = self.server.run_round(updates)
+            if self.test_set is not None and (
+                (t + 1) % self.eval_every == 0 or t + 1 == num_rounds
+            ):
+                self.model.set_flat_params(new_params)
+                acc = accuracy(self.model.predict(self.test_set.x), self.test_set.y)
+                accuracy_history.append(acc)
+                _log.info("round %d/%d test accuracy %.4f", t + 1, num_rounds, acc)
+            if round_callback is not None:
+                round_callback(t, new_params)
+        return TrainingRecord(
+            checkpoints=self.server.checkpoints,
+            gradients=self.server.gradients,
+            ledger=self.server.ledger,
+            client_sizes=dict(self.server.client_sizes),
+            num_rounds=num_rounds,
+            learning_rate=self.server.learning_rate,
+            aggregator=self.server.aggregator_name,
+            accuracy_history=accuracy_history,
+        )

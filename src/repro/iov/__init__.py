@@ -1,0 +1,28 @@
+"""IoV dynamics: road-network mobility, RSU coverage/connectivity, and
+the scenario generator that turns them into FL participation schedules
+(vehicles joining, leaving and dropping out as they drive)."""
+
+from repro.iov.comm import REPRESENTATION_BITS, V2iLink, payload_bytes, round_time
+from repro.iov.mobility import RoadNetwork, Vehicle, simulate_positions
+from repro.iov.network import Rsu, connectivity_trace, coverage_fraction
+from repro.iov.scenario import (
+    IovScenario,
+    generate_iov_schedule,
+    schedule_from_connectivity,
+)
+
+__all__ = [
+    "IovScenario",
+    "REPRESENTATION_BITS",
+    "V2iLink",
+    "payload_bytes",
+    "round_time",
+    "RoadNetwork",
+    "Rsu",
+    "Vehicle",
+    "connectivity_trace",
+    "coverage_fraction",
+    "generate_iov_schedule",
+    "schedule_from_connectivity",
+    "simulate_positions",
+]

@@ -1,0 +1,96 @@
+"""V2I communication model — bytes and round latency.
+
+The IoV motivation is not only storage: vehicles communicate with the
+RSU over a shared wireless link, so per-round payload sizes set the
+round time and hence how many FL rounds fit into a vehicle's dwell time
+inside coverage.  This module provides the byte/latency accounting used
+by the communication experiments:
+
+- :func:`payload_bytes` — the size of one model/update transfer under
+  a representation (float32, float16, or RSA-style 2-bit signs);
+- :class:`V2iLink` — a simple shared-medium link: each vehicle gets an
+  equal share of uplink bandwidth, downlink is broadcast;
+- :func:`round_time` — the wall-clock of one FL round for a set of
+  participating vehicles.
+
+The model is deliberately first-order (no fading/MAC contention): the
+experiments only need relative comparisons between representations,
+which this captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["REPRESENTATION_BITS", "payload_bytes", "V2iLink", "round_time"]
+
+# Bits per model element under each wire representation.
+REPRESENTATION_BITS: Dict[str, int] = {
+    "float32": 32,
+    "float16": 16,
+    "sign2bit": 2,  # RSA-style ternary directions (the paper's codec)
+}
+
+
+def payload_bytes(num_elements: int, representation: str = "float32") -> int:
+    """Bytes on the wire for one ``num_elements``-sized vector."""
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    if representation not in REPRESENTATION_BITS:
+        raise ValueError(
+            f"unknown representation {representation!r}; "
+            f"choose from {sorted(REPRESENTATION_BITS)}"
+        )
+    bits = REPRESENTATION_BITS[representation] * num_elements
+    return (bits + 7) // 8
+
+
+@dataclass(frozen=True)
+class V2iLink:
+    """A vehicle-to-infrastructure link budget.
+
+    Attributes
+    ----------
+    uplink_bps:
+        Total uplink capacity in bits/second, shared equally by the
+        round's participants (a first-order model of scheduled access).
+    downlink_bps:
+        Broadcast downlink capacity in bits/second (the global model is
+        sent once, all vehicles receive it).
+    rtt_seconds:
+        Fixed per-round protocol overhead (handshakes, scheduling).
+    """
+
+    uplink_bps: float = 10e6
+    downlink_bps: float = 50e6
+    rtt_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ValueError("link rates must be positive")
+        if self.rtt_seconds < 0:
+            raise ValueError("rtt_seconds must be non-negative")
+
+
+def round_time(
+    link: V2iLink,
+    num_participants: int,
+    model_elements: int,
+    uplink_representation: str = "float32",
+    downlink_representation: str = "float32",
+) -> float:
+    """Seconds for one FL round: broadcast down, shared uplink up.
+
+    Downlink: the global model is broadcast once.  Uplink: each
+    participant sends its update over an equal share of the uplink, so
+    the (synchronized) upload phase lasts as long as one update over
+    ``1/n`` of the capacity.
+    """
+    if num_participants <= 0:
+        raise ValueError("num_participants must be positive")
+    down_bits = 8 * payload_bytes(model_elements, downlink_representation)
+    up_bits = 8 * payload_bytes(model_elements, uplink_representation)
+    download = down_bits / link.downlink_bps
+    upload = up_bits / (link.uplink_bps / num_participants)
+    return link.rtt_seconds + download + upload

@@ -1,0 +1,147 @@
+"""End-to-end IoV scenario generation.
+
+Ties mobility + connectivity into the
+:class:`~repro.fl.events.ParticipationSchedule` the FL loop replays:
+
+- a vehicle **joins** FL the first round it is connected to the RSU;
+- a vehicle **leaves** FL when it exits coverage for good (or for at
+  least ``leave_after`` consecutive rounds — the RSU cannot tell
+  "gone for now" from "gone forever" until the gap is long enough);
+- a connected-membership gap shorter than that is a **dropout**.
+
+This is the generator behind the dynamic-IoV experiments: the
+unlearning scheme must work when the forgotten vehicle joined mid-way
+and when other vehicles have already left (so they cannot help with
+recovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fl.events import ParticipationSchedule
+from repro.iov.mobility import RoadNetwork, Vehicle, simulate_positions
+from repro.iov.network import Rsu, connectivity_trace
+
+__all__ = ["IovScenario", "schedule_from_connectivity", "generate_iov_schedule"]
+
+
+@dataclass
+class IovScenario:
+    """A fully-specified IoV simulation setup."""
+
+    num_vehicles: int
+    num_rounds: int
+    grid_rows: int = 6
+    grid_cols: int = 6
+    block_length: float = 200.0
+    coverage_radius: float = 650.0
+    packet_loss: float = 0.05
+    leave_after: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_vehicles <= 0:
+            raise ValueError("num_vehicles must be positive")
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if self.leave_after < 1:
+            raise ValueError("leave_after must be >= 1")
+
+
+def schedule_from_connectivity(
+    connectivity: Dict[int, np.ndarray], leave_after: int = 10
+) -> ParticipationSchedule:
+    """Convert per-round connectivity masks into a participation schedule.
+
+    Rules (per vehicle):
+
+    - join round = first connected round;
+    - leave round = start of the first disconnection gap of length
+      ``>= leave_after`` that is never followed by reconnection within
+      the horizon... precisely: the first round after which the vehicle
+      is *never connected for leave_after consecutive-round purposes* —
+      implemented as: if a disconnection gap reaches ``leave_after``
+      rounds, the vehicle is deemed to have left at the gap's start;
+    - any shorter disconnection inside membership is a dropout.
+
+    Vehicles never connected are omitted from the schedule entirely.
+    """
+    if leave_after < 1:
+        raise ValueError("leave_after must be >= 1")
+    joins: Dict[int, int] = {}
+    leaves: Dict[int, int] = {}
+    dropouts: List[Tuple[int, int]] = []
+    for vid, mask in connectivity.items():
+        mask = np.asarray(mask, dtype=bool)
+        connected_rounds = np.flatnonzero(mask)
+        if connected_rounds.size == 0:
+            continue
+        join = int(connected_rounds[0])
+        joins[vid] = join
+        leave: Optional[int] = None
+        gap_start: Optional[int] = None
+        for t in range(join, mask.size):
+            if mask[t]:
+                if gap_start is not None:
+                    # Gap ended before reaching leave_after: dropouts.
+                    dropouts.extend((g, vid) for g in range(gap_start, t))
+                    gap_start = None
+            else:
+                if gap_start is None:
+                    gap_start = t
+                elif t - gap_start + 1 >= leave_after:
+                    leave = gap_start
+                    break
+        if leave is None and gap_start is not None:
+            # Trailing gap: counts as a leave if long enough, else dropouts.
+            if mask.size - gap_start >= leave_after:
+                leave = gap_start
+            else:
+                dropouts.extend((g, vid) for g in range(gap_start, mask.size))
+        if leave is not None:
+            if leave == join:
+                # Never really participated beyond the join instant; treat
+                # as a one-round membership to keep the ledger consistent.
+                leave = join + 1
+            leaves[vid] = leave
+    schedule = ParticipationSchedule.with_events(
+        client_ids=list(joins),
+        joins=joins,
+        leaves=leaves,
+        dropouts=[(t, vid) for t, vid in dropouts if t < _leave_bound(leaves, vid)],
+    )
+    return schedule
+
+
+def _leave_bound(leaves: Dict[int, int], vid: int) -> int:
+    return leaves.get(vid, np.iinfo(np.int64).max)
+
+
+def generate_iov_schedule(
+    scenario: IovScenario, rng: np.random.Generator
+) -> Tuple[ParticipationSchedule, Dict[int, np.ndarray]]:
+    """Simulate mobility + connectivity and derive the schedule.
+
+    Returns ``(schedule, connectivity)``; the raw connectivity masks let
+    experiments report coverage statistics.
+    """
+    network = RoadNetwork(
+        rows=scenario.grid_rows,
+        cols=scenario.grid_cols,
+        block_length=scenario.block_length,
+    )
+    width, height = network.extent
+    rsu = Rsu(position=(width / 2, height / 2), coverage_radius=scenario.coverage_radius)
+    vehicles = [
+        Vehicle(vid, network, np.random.default_rng(rng.integers(0, 2**62)))
+        for vid in range(scenario.num_vehicles)
+    ]
+    traces = simulate_positions(vehicles, scenario.num_rounds)
+    connectivity = connectivity_trace(
+        traces, rsu, rng, packet_loss=scenario.packet_loss
+    )
+    schedule = schedule_from_connectivity(connectivity, leave_after=scenario.leave_after)
+    return schedule, connectivity

@@ -1,0 +1,38 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so
+model construction is deterministic given a seed — a hard requirement
+for the unlearning experiments, where the *retraining* baseline must
+re-initialize from a reproducible state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros"]
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He (Kaiming) normal initialization, suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot uniform initialization, suited to tanh/linear layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros array (bias initialization)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,433 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Design notes
+------------
+- Data layout is ``NCHW`` for images and ``(N, features)`` for dense
+  inputs, matching the conventions of the PyTorch models in the paper.
+- Each layer owns its parameters and gradient buffers as plain NumPy
+  arrays.  :meth:`Layer.params` and :meth:`Layer.grads` return *live
+  references* so the :class:`~repro.nn.model.Sequential` container can
+  flatten and overwrite them in place.
+- ``backward`` consumes the upstream gradient and both (a) stores the
+  parameter gradients and (b) returns the gradient with respect to the
+  layer input.
+- Convolution uses the im2col/col2im transform so the inner loop is a
+  single BLAS matmul — the only way a pure-NumPy CNN is fast enough for
+  hundred-round federated experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import he_normal, zeros
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "im2col",
+    "col2im",
+]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`;
+    parameterized layers also override :meth:`params` / :meth:`grads`.
+    """
+
+    def params(self) -> List[np.ndarray]:
+        """Live references to this layer's parameter arrays."""
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        """Live references to this layer's gradient arrays (same order)."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output; ``training=True`` caches state for
+        :meth:`backward`."""
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Consume the upstream gradient; fills the parameter-gradient
+        buffers and returns the gradient w.r.t. the layer input."""
+        raise NotImplementedError
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count of this layer."""
+        return int(sum(p.size for p in self.params()))
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold image batch ``x`` (NCHW) into a patch matrix.
+
+    Returns ``(col, out_h, out_w)`` where ``col`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``: one row per output spatial
+    position, one column per kernel tap.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) too large for input {h}x{w}"
+        )
+    img = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for xk in range(kw):
+            x_max = xk + stride * out_w
+            col[:, :, y, xk, :, :] = img[:, :, y:y_max:stride, xk:x_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1), out_h, out_w
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into an image batch, summing overlaps.
+
+    Exact adjoint of :func:`im2col`, used for the convolution backward
+    pass with respect to the input.
+    """
+    n, c, h, w = input_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for xk in range(kw):
+            x_max = xk + stride * out_w
+            img[:, :, y:y_max:stride, xk:x_max:stride] += col6[:, :, y, xk, :, :]
+    if pad == 0:
+        return img
+    return img[:, :, pad : h + pad, pad : w + pad]
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        Generator used for He-normal weight initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = he_normal(rng, (in_features, out_features), fan_in=in_features)
+        self.bias = zeros((out_features,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: Optional[np.ndarray] = None
+
+    def params(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Affine map ``x @ W + b``; caches ``x`` when training."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects (N, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Fill weight/bias gradients and return ``dL/dx``."""
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        # In-place copy so the gradient buffer identity is stable.
+        np.matmul(self._x.T, dout, out=self.grad_weight)
+        self.grad_bias[...] = dout.sum(axis=0)
+        dx = dout @ self.weight.T
+        self._x = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW batches via im2col.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Usual convolution hyperparameters.
+    rng:
+        Generator for He-normal weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("channels, kernel_size and stride must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = he_normal(
+            rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in
+        )
+        self.bias = zeros((out_channels,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._col: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def params(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Convolve NCHW input via im2col; caches patches when training."""
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        col, out_h, out_w = im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        out = col @ w_mat.T + self.bias
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._col = col
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Fill kernel/bias gradients and return ``dL/dx`` via col2im."""
+        if self._col is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n = self._x_shape[0]
+        out_h, out_w = self._out_hw
+        dout_mat = dout.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        self.grad_bias[...] = dout_mat.sum(axis=0)
+        self.grad_weight[...] = (dout_mat.T @ self._col).reshape(self.weight.shape)
+        dcol = dout_mat @ self.weight.reshape(self.out_channels, -1)
+        dx = col2im(
+            dcol,
+            self._x_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._col = None
+        self._x_shape = None
+        self._out_hw = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (``stride == pool_size``).
+
+    The reproduction only needs the classic ``2x2/2`` pooling of the
+    paper's CNNs, so the implementation requires the spatial dims to be
+    divisible by the pool size and uses a pure reshape — no im2col cost.
+    """
+
+    def __init__(self, pool_size: int = 2):
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._mask: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Non-overlapping max pooling; caches the argmax mask when training."""
+        p = self.pool_size
+        n, c, h, w = x.shape
+        if h % p or w % p:
+            raise ValueError(
+                f"MaxPool2d(pool={p}) needs H, W divisible by pool; got {h}x{w}"
+            )
+        xr = x.reshape(n, c, h // p, p, w // p, p)
+        out = xr.max(axis=(3, 5))
+        if training:
+            # Mask marks, per pooling window, which positions achieved the
+            # max (ties propagate gradient to every argmax, which is the
+            # subgradient convention and keeps the op deterministic).
+            self._mask = xr == out[:, :, :, None, :, None]
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Route the gradient to the max positions (ties share it)."""
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        dx = self._mask * (dout[:, :, :, None, :, None] / counts)
+        dx = dx.reshape(self._x_shape)
+        self._mask = None
+        self._x_shape = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool2d({self.pool_size})"
+
+
+class ReLU(Layer):
+    """Element-wise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Element-wise ``max(x, 0)``; caches the active mask when training."""
+        out = np.maximum(x, 0.0)
+        if training:
+            self._mask = x > 0
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Pass the gradient through where the input was positive."""
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        dx = dout * self._mask
+        self._mask = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ReLU()"
+
+
+class Tanh(Layer):
+    """Element-wise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Element-wise ``tanh``; caches the output when training."""
+        out = np.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Chain rule through tanh: ``dout * (1 - tanh(x)^2)``."""
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        dx = dout * (1.0 - self._out**2)
+        self._out = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Tanh()"
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Reshape to ``(N, -1)``; remembers the input shape when training."""
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Reshape the gradient back to the cached input shape."""
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        dx = dout.reshape(self._shape)
+        self._shape = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Flatten()"
+
+
+class Dropout(Layer):
+    """Inverted dropout.
+
+    Active only when ``training=True``; at inference it is the
+    identity.  Requires an explicit generator so training remains
+    reproducible.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Apply inverted dropout when training; identity at inference."""
+        if not training or self.rate == 0.0:
+            self._mask = None if not training else np.ones_like(x)
+            return x if not training else x.copy()
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Apply the same keep mask used in the forward pass."""
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        dx = dout * self._mask
+        self._mask = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dropout({self.rate})"

@@ -1,0 +1,68 @@
+"""Loss functions.
+
+The paper's models are multi-class classifiers trained with softmax
+cross-entropy; that is the only loss the reproduction needs, plus the
+standalone stable :func:`softmax` used by evaluation code.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "SoftmaxCrossEntropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy for integer class labels.
+
+    Fusing the two keeps the backward pass the textbook
+    ``(p - onehot(y)) / N`` expression, which is both faster and far
+    more numerically stable than back-propagating through an explicit
+    softmax layer.
+    """
+
+    def forward(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Return ``(mean_loss, dloss/dlogits)``.
+
+        Parameters
+        ----------
+        logits:
+            ``(N, num_classes)`` raw scores.
+        labels:
+            ``(N,)`` integer class indices in ``[0, num_classes)``.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must be ({logits.shape[0]},), got {labels.shape}"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+            raise ValueError("labels out of range for logits width")
+        n = logits.shape[0]
+        probs = softmax(logits)
+        # Clip only inside the log; the gradient uses the exact probs.
+        nll = -np.log(np.clip(probs[np.arange(n), labels], 1e-300, None))
+        loss = float(nll.mean())
+        grad = probs
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        return loss, grad
+
+    def loss_only(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy without materializing the gradient."""
+        loss, _ = self.forward(logits, labels)
+        return loss

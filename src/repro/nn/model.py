@@ -1,0 +1,147 @@
+"""The :class:`Sequential` model container.
+
+The container's defining feature for this reproduction is *flat
+parameter access*: :meth:`Sequential.get_flat_params` /
+:meth:`Sequential.set_flat_params` view the whole model as a single
+vector ``w ∈ R^d``, and :meth:`Sequential.loss_and_flat_grad` returns
+the loss and ``∇L(w)`` as a matching flat vector.  All federated
+aggregation, backtracking, and L-BFGS recovery operate purely in this
+vector space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+from repro.utils.flat import flatten_arrays, shapes_of, total_size, unflatten_vector
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """Feed-forward stack of layers with flat-vector parameter access.
+
+    Parameters
+    ----------
+    layers:
+        Ordered layers; the output of each feeds the next.
+    loss:
+        Loss object; defaults to :class:`SoftmaxCrossEntropy`.
+    """
+
+    def __init__(
+        self, layers: Sequence[Layer], loss: Optional[SoftmaxCrossEntropy] = None
+    ):
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.loss = loss or SoftmaxCrossEntropy()
+        self._param_shapes = shapes_of(self._param_refs())
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the stack; returns logits."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class indices, evaluated in inference mode."""
+        return np.argmax(self.predict_proba(x, batch_size=batch_size), axis=1)
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, evaluated in inference mode and batched."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        chunks = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            chunks.append(softmax(logits))
+        if not chunks:
+            raise ValueError("cannot predict on an empty batch")
+        return np.concatenate(chunks, axis=0)
+
+    def loss_and_flat_grad(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """One forward+backward pass; returns ``(loss, flat gradient)``."""
+        logits = self.forward(x, training=True)
+        loss, dlogits = self.loss.forward(logits, y)
+        grad = dlogits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return loss, flatten_arrays(self._grad_refs())
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Mean loss in inference mode, batched (no gradient buffers touched)."""
+        total, count = 0.0, 0
+        for start in range(0, x.shape[0], batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.forward(xb, training=False)
+            total += self.loss.loss_only(logits, yb) * xb.shape[0]
+            count += xb.shape[0]
+        if count == 0:
+            raise ValueError("cannot evaluate loss on empty data")
+        return total / count
+
+    # ------------------------------------------------------------------
+    # flat parameter access
+    # ------------------------------------------------------------------
+    def _param_refs(self) -> List[np.ndarray]:
+        refs: List[np.ndarray] = []
+        for layer in self.layers:
+            refs.extend(layer.params())
+        return refs
+
+    def _grad_refs(self) -> List[np.ndarray]:
+        refs: List[np.ndarray] = []
+        for layer in self.layers:
+            refs.extend(layer.grads())
+        return refs
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count ``d``."""
+        return total_size(self._param_shapes)
+
+    def get_flat_params(self) -> np.ndarray:
+        """Copy of all parameters as one flat float64 vector."""
+        return flatten_arrays(self._param_refs())
+
+    def set_flat_params(self, vector: np.ndarray) -> None:
+        """Overwrite all parameters from a flat vector (in place)."""
+        arrays = unflatten_vector(vector, self._param_shapes)
+        for ref, new in zip(self._param_refs(), arrays):
+            ref[...] = new
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Copy of the current gradient buffers as one flat vector."""
+        return flatten_arrays(self._grad_refs())
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def clone_params(self) -> np.ndarray:
+        """Alias for :meth:`get_flat_params` (reads better at call sites)."""
+        return self.get_flat_params()
+
+    def layer_summary(self) -> str:
+        """Multi-line human-readable architecture summary."""
+        lines = [f"Sequential with {self.num_params} parameters:"]
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i}] {layer!r} ({layer.num_params} params)")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

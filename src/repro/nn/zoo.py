@@ -1,0 +1,123 @@
+"""Model zoo reproducing the paper's architectures.
+
+The paper's global models are:
+
+- **MNIST**: a CNN with two convolutional layers and two
+  fully-connected layers (§V-A.1).
+- **GTSRB**: a CNN with two convolutional layers and one
+  fully-connected layer (§V-A.1).
+
+Exact channel widths are not stated in the paper, so the zoo uses the
+conventional small-CNN widths (8/16 conv channels) that match the
+reported parameter scale; the widths are constructor arguments so the
+benchmark profiles can shrink them for CI runs without changing the
+architecture shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.model import Sequential
+
+__all__ = ["mnist_cnn", "gtsrb_cnn", "mlp", "tiny_cnn"]
+
+
+def mnist_cnn(
+    rng: np.random.Generator,
+    image_size: int = 28,
+    channels: int = 1,
+    num_classes: int = 10,
+    conv1: int = 8,
+    conv2: int = 16,
+    hidden: int = 64,
+) -> Sequential:
+    """The paper's MNIST model: conv-pool-conv-pool, then two dense layers."""
+    after1 = image_size // 2  # 3x3 conv with pad 1 keeps size; pool halves
+    after2 = after1 // 2
+    flat = conv2 * after2 * after2
+    return Sequential(
+        [
+            Conv2d(channels, conv1, kernel_size=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(conv1, conv2, kernel_size=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, num_classes, rng=rng),
+        ]
+    )
+
+
+def gtsrb_cnn(
+    rng: np.random.Generator,
+    image_size: int = 32,
+    channels: int = 3,
+    num_classes: int = 10,
+    conv1: int = 8,
+    conv2: int = 16,
+) -> Sequential:
+    """The paper's GTSRB model: two conv blocks, a single dense classifier."""
+    after1 = image_size // 2
+    after2 = after1 // 2
+    flat = conv2 * after2 * after2
+    return Sequential(
+        [
+            Conv2d(channels, conv1, kernel_size=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(conv1, conv2, kernel_size=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(flat, num_classes, rng=rng),
+        ]
+    )
+
+
+def mlp(
+    rng: np.random.Generator,
+    in_features: int,
+    num_classes: int,
+    hidden: int = 32,
+    depth: int = 1,
+) -> Sequential:
+    """Plain MLP on flattened inputs.
+
+    The fast CI/smoke profiles use this in place of the CNNs: the
+    unlearning algebra is architecture-agnostic (it only sees flat
+    vectors), so an MLP exercises the identical recovery code at a
+    fraction of the cost.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    layers = [Flatten()]
+    width = in_features
+    for _ in range(depth):
+        layers.extend([Dense(width, hidden, rng=rng), ReLU()])
+        width = hidden
+    layers.append(Dense(width, num_classes, rng=rng))
+    return Sequential(layers)
+
+
+def tiny_cnn(
+    rng: np.random.Generator,
+    image_size: int = 12,
+    channels: int = 1,
+    num_classes: int = 4,
+) -> Sequential:
+    """Minimal conv net for unit tests — one conv block + classifier."""
+    after = image_size // 2
+    return Sequential(
+        [
+            Conv2d(channels, 4, kernel_size=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(4 * after * after, num_classes, rng=rng),
+        ]
+    )

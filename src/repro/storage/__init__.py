@@ -1,0 +1,34 @@
+"""Server-side storage: the paper's 2-bit sign-direction codec and the
+per-round gradient/model history stores used by every unlearning method."""
+
+from repro.storage.sign_codec import (
+    decode_gradient,
+    encode_gradient,
+    pack_signs,
+    packed_size_bytes,
+    storage_savings_ratio,
+    ternarize,
+    unpack_signs,
+)
+from repro.storage.store import (
+    FullGradientStore,
+    GradientStore,
+    ModelCheckpointStore,
+    SignGradientStore,
+    make_gradient_store,
+)
+
+__all__ = [
+    "FullGradientStore",
+    "GradientStore",
+    "ModelCheckpointStore",
+    "SignGradientStore",
+    "decode_gradient",
+    "encode_gradient",
+    "make_gradient_store",
+    "pack_signs",
+    "packed_size_bytes",
+    "storage_savings_ratio",
+    "ternarize",
+    "unpack_signs",
+]

@@ -1,0 +1,117 @@
+"""Ternary sign codec — the paper's 2-bit gradient-direction storage.
+
+§IV of the paper: "we defined the direction of a gradient element as 1
+when it is greater than a threshold δ, -1 when it is less than the
+threshold -δ, and 0 when it is between the thresholds", and each
+direction "takes up just two bits", sparing ~95 % of the storage a
+float32 gradient would need.
+
+:func:`ternarize` implements the thresholded sign map;
+:func:`pack_signs` / :func:`unpack_signs` implement the 2-bit packing
+(4 elements per byte).  The measured ratio vs float32 is exactly
+2/32 = 6.25 %, i.e. 93.75 % savings, plus a negligible fixed header —
+matching the paper's "approximately 95 %" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "ternarize",
+    "pack_signs",
+    "unpack_signs",
+    "encode_gradient",
+    "decode_gradient",
+    "packed_size_bytes",
+    "storage_savings_ratio",
+]
+
+# 2-bit code points: 0 -> 0, 1 -> +1, 2 -> -1 (3 is unused / reserved).
+_CODE_OF_SIGN = {0: 0, 1: 1, -1: 2}
+_SIGN_OF_CODE = np.array([0, 1, -1, 0], dtype=np.int8)
+
+
+def ternarize(gradient: np.ndarray, delta: float) -> np.ndarray:
+    """Thresholded element-wise sign: ``{-1, 0, +1}`` as ``int8``.
+
+    Elements in ``(-delta, delta]``... more precisely: ``> delta -> +1``,
+    ``< -delta -> -1``, otherwise ``0`` (the paper's definition).
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    gradient = np.asarray(gradient, dtype=np.float64)
+    out = np.zeros(gradient.shape, dtype=np.int8)
+    out[gradient > delta] = 1
+    out[gradient < -delta] = -1
+    return out
+
+
+def pack_signs(signs: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Pack a flat ternary array into 2 bits per element.
+
+    Returns ``(packed_bytes, original_length)``.  Length must be carried
+    separately because the packed array is padded to a whole byte.
+    """
+    signs = np.asarray(signs)
+    if signs.ndim != 1:
+        raise ValueError(f"signs must be flat, got shape {signs.shape}")
+    if signs.size and not np.isin(signs, (-1, 0, 1)).all():
+        raise ValueError("signs may only contain -1, 0, +1")
+    codes = np.zeros(signs.size, dtype=np.uint8)
+    codes[signs == 1] = 1
+    codes[signs == -1] = 2
+    pad = (-signs.size) % 4
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint8)])
+    quads = codes.reshape(-1, 4)
+    packed = (
+        quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
+    ).astype(np.uint8)
+    return packed, int(signs.size)
+
+
+def unpack_signs(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`; returns int8 ternary array."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if packed.size * 4 < length:
+        raise ValueError(
+            f"packed buffer holds at most {packed.size * 4} elements, need {length}"
+        )
+    codes = np.empty((packed.size, 4), dtype=np.uint8)
+    codes[:, 0] = packed & 0b11
+    codes[:, 1] = (packed >> 2) & 0b11
+    codes[:, 2] = (packed >> 4) & 0b11
+    codes[:, 3] = (packed >> 6) & 0b11
+    return _SIGN_OF_CODE[codes.reshape(-1)[:length]]
+
+
+def encode_gradient(gradient: np.ndarray, delta: float) -> Tuple[np.ndarray, int]:
+    """Ternarize then pack a flat gradient vector."""
+    return pack_signs(ternarize(gradient, delta).ravel())
+
+
+def decode_gradient(packed: np.ndarray, length: int) -> np.ndarray:
+    """Unpack to a float64 direction vector in ``{-1, 0, +1}``."""
+    return unpack_signs(packed, length).astype(np.float64)
+
+
+def packed_size_bytes(num_elements: int) -> int:
+    """Bytes needed to store ``num_elements`` ternary values."""
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    return (num_elements + 3) // 4
+
+
+def storage_savings_ratio(num_elements: int, full_dtype_bytes: int = 4) -> float:
+    """Fraction of storage saved vs a full ``full_dtype_bytes``-per-element
+    gradient (float32 by default).  ~0.9375 for large vectors."""
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    full = num_elements * full_dtype_bytes
+    packed = packed_size_bytes(num_elements)
+    return 1.0 - packed / full

@@ -1,0 +1,211 @@
+"""Server-side history stores.
+
+During FL training the RSU records, per round:
+
+- the global model parameters ``w_t`` (a :class:`ModelCheckpointStore`),
+- each participating client's update (a :class:`GradientStore`).
+
+The paper's scheme stores only the 2-bit gradient *direction*
+(:class:`SignGradientStore`); the FedRecover baseline stores full
+float32 gradients (:class:`FullGradientStore`).  Both implement the
+same interface so the unlearning algorithms are backend-agnostic, and
+both account their exact byte usage for the storage benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.storage.sign_codec import decode_gradient, encode_gradient
+
+__all__ = [
+    "GradientStore",
+    "FullGradientStore",
+    "SignGradientStore",
+    "ModelCheckpointStore",
+    "make_gradient_store",
+]
+
+
+class GradientStore:
+    """Interface for per-round, per-client gradient records."""
+
+    def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
+        """Record ``gradient`` for ``client_id`` at ``round_index``."""
+        raise NotImplementedError
+
+    def get(self, round_index: int, client_id: int) -> np.ndarray:
+        """Retrieve the stored representation as a float64 vector.
+
+        For a sign store this is the *direction* vector in
+        ``{-1, 0, +1}``; for a full store it is the gradient itself.
+        """
+        raise NotImplementedError
+
+    def has(self, round_index: int, client_id: int) -> bool:
+        """Whether a record exists."""
+        raise NotImplementedError
+
+    def rounds(self) -> List[int]:
+        """Sorted list of rounds with at least one record."""
+        raise NotImplementedError
+
+    def clients_at(self, round_index: int) -> List[int]:
+        """Sorted client ids recorded at ``round_index``."""
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        """Total payload bytes currently stored."""
+        raise NotImplementedError
+
+    def drop_client(self, client_id: int) -> int:
+        """Delete every record of ``client_id``; returns records removed.
+
+        Called after unlearning: once a client is forgotten the server
+        must also purge its stored updates.
+        """
+        raise NotImplementedError
+
+
+class FullGradientStore(GradientStore):
+    """Float32 full-gradient store — the FedRecover/FedEraser baseline."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
+        self._records[(round_index, client_id)] = np.asarray(
+            gradient, dtype=np.float32
+        ).copy()
+
+    def get(self, round_index: int, client_id: int) -> np.ndarray:
+        key = (round_index, client_id)
+        if key not in self._records:
+            raise KeyError(f"no gradient for client {client_id} at round {round_index}")
+        return self._records[key].astype(np.float64)
+
+    def has(self, round_index: int, client_id: int) -> bool:
+        return (round_index, client_id) in self._records
+
+    def rounds(self) -> List[int]:
+        return sorted({r for r, _ in self._records})
+
+    def clients_at(self, round_index: int) -> List[int]:
+        return sorted(c for r, c in self._records if r == round_index)
+
+    def nbytes(self) -> int:
+        return int(sum(g.nbytes for g in self._records.values()))
+
+    def drop_client(self, client_id: int) -> int:
+        keys = [k for k in self._records if k[1] == client_id]
+        for key in keys:
+            del self._records[key]
+        return len(keys)
+
+
+class SignGradientStore(GradientStore):
+    """The paper's store: δ-thresholded direction, 2 bits per element.
+
+    Parameters
+    ----------
+    delta:
+        Sign threshold δ (paper default 1e-6).  Elements with
+        ``|g| <= delta`` are stored as 0.
+    """
+
+    def __init__(self, delta: float = 1e-6):
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.delta = delta
+        self._records: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
+
+    def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
+        packed, length = encode_gradient(np.asarray(gradient).ravel(), self.delta)
+        self._records[(round_index, client_id)] = (packed, length)
+
+    def get(self, round_index: int, client_id: int) -> np.ndarray:
+        key = (round_index, client_id)
+        if key not in self._records:
+            raise KeyError(f"no gradient for client {client_id} at round {round_index}")
+        packed, length = self._records[key]
+        return decode_gradient(packed, length)
+
+    def has(self, round_index: int, client_id: int) -> bool:
+        return (round_index, client_id) in self._records
+
+    def rounds(self) -> List[int]:
+        return sorted({r for r, _ in self._records})
+
+    def clients_at(self, round_index: int) -> List[int]:
+        return sorted(c for r, c in self._records if r == round_index)
+
+    def nbytes(self) -> int:
+        return int(sum(p.nbytes for p, _ in self._records.values()))
+
+    def drop_client(self, client_id: int) -> int:
+        keys = [k for k in self._records if k[1] == client_id]
+        for key in keys:
+            del self._records[key]
+        return len(keys)
+
+
+class ModelCheckpointStore:
+    """Per-round global-model checkpoints ``w_t``.
+
+    Every compared method needs these (the paper's scheme backtracks to
+    ``w_F``; FedRecover/retraining need the initial state).  Stored as
+    float32 — parameter precision, unlike gradient *direction*, matters
+    for backtracking fidelity but float32 matches what a PyTorch server
+    would hold.
+    """
+
+    def __init__(self) -> None:
+        self._checkpoints: Dict[int, np.ndarray] = {}
+
+    def put(self, round_index: int, params: np.ndarray) -> None:
+        """Record global model parameters at the *start* of ``round_index``."""
+        self._checkpoints[round_index] = np.asarray(params, dtype=np.float32).copy()
+
+    def get(self, round_index: int) -> np.ndarray:
+        """Return ``w_t`` as float64; raises KeyError when absent."""
+        if round_index not in self._checkpoints:
+            raise KeyError(f"no checkpoint for round {round_index}")
+        return self._checkpoints[round_index].astype(np.float64)
+
+    def has(self, round_index: int) -> bool:
+        """Whether a checkpoint exists for ``round_index``."""
+        return round_index in self._checkpoints
+
+    def rounds(self) -> List[int]:
+        """Sorted rounds with a stored checkpoint."""
+        return sorted(self._checkpoints)
+
+    def latest(self) -> Tuple[int, np.ndarray]:
+        """``(round, params)`` of the newest checkpoint."""
+        if not self._checkpoints:
+            raise KeyError("checkpoint store is empty")
+        r = max(self._checkpoints)
+        return r, self._checkpoints[r].astype(np.float64)
+
+    def nbytes(self) -> int:
+        """Total checkpoint payload bytes."""
+        return int(sum(w.nbytes for w in self._checkpoints.values()))
+
+    def prune(self, keep: Iterable[int]) -> int:
+        """Drop all checkpoints except ``keep``; returns count removed."""
+        keep_set = set(keep)
+        drop = [r for r in self._checkpoints if r not in keep_set]
+        for r in drop:
+            del self._checkpoints[r]
+        return len(drop)
+
+
+def make_gradient_store(kind: str, delta: float = 1e-6) -> GradientStore:
+    """Factory: ``kind`` is ``"sign"`` (the paper) or ``"full"`` (baselines)."""
+    if kind == "sign":
+        return SignGradientStore(delta=delta)
+    if kind == "full":
+        return FullGradientStore()
+    raise ValueError(f"unknown gradient store kind {kind!r}; use 'sign' or 'full'")

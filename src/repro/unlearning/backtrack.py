@@ -1,0 +1,38 @@
+"""Forgetting by backtracking (§IV-A, Eq. 5).
+
+To erase a client that joined at round ``F`` the server rolls the
+global model back to the checkpoint ``w_F`` — the state *before* the
+client's first contribution — keeping all training progress from rounds
+``0 … F−1``.  This replaces the re-initialization step of
+FedRecover/FedEraser and is what lets the scheme preserve pre-``F``
+training outcomes in dynamic IoV settings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.history import TrainingRecord
+from repro.unlearning.base import resolve_forget_round
+
+__all__ = ["backtrack"]
+
+
+def backtrack(
+    record: TrainingRecord, forget_ids: Sequence[int]
+) -> Tuple[np.ndarray, int]:
+    """Return ``(w_F, F)`` — the unlearned model and the backtrack round.
+
+    Eq. 5: ``w̄ = w_F`` where ``F`` is the earliest join round among the
+    forgotten clients.  The returned parameters contain, by
+    construction, no influence from any forgotten client: every one of
+    their updates was aggregated at a round ``≥ F``.
+    """
+    f = resolve_forget_round(record, forget_ids)
+    if not record.checkpoints.has(f):
+        raise KeyError(
+            f"checkpoint w_{f} missing — the server must retain per-round models"
+        )
+    return record.params_at(f), f

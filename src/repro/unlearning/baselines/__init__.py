@@ -1,0 +1,16 @@
+"""Unlearning baselines the paper compares against (§V-A.3), plus the
+FedEraser extension comparator."""
+
+from repro.unlearning.baselines.deltagrad import DeltaGradUnlearner
+from repro.unlearning.baselines.federaser import FedEraserUnlearner
+from repro.unlearning.baselines.fedrecover import FedRecoverUnlearner
+from repro.unlearning.baselines.fedrecovery import FedRecoveryUnlearner
+from repro.unlearning.baselines.retrain import RetrainUnlearner
+
+__all__ = [
+    "DeltaGradUnlearner",
+    "FedEraserUnlearner",
+    "FedRecoverUnlearner",
+    "FedRecoveryUnlearner",
+    "RetrainUnlearner",
+]

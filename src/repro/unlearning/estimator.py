@@ -1,0 +1,96 @@
+"""Gradient estimation (Eq. 6) and error limiting (Eq. 7).
+
+During recovery the server never contacts clients; it estimates what
+client ``i`` *would* have reported at the recovered model ``w̄_t`` from
+what it *did* report at the historical model ``w_t``:
+
+    ḡ_t^i = g_t^i + H̃_t^i · (w̄_t − w_t)                      (Eq. 6)
+
+and bounds the estimation error by element-wise clipping:
+
+    g̃_t^i = ḡ_t^i / max(1, |ḡ_t^i| / L)                       (Eq. 7)
+
+Note Eq. 7 is applied *per element* (the paper's |·| "denotes the
+absolute value of gradient elements"): each element with magnitude
+above ``L`` is scaled down to exactly ``±L``; smaller elements pass
+through unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.unlearning.lbfgs import LbfgsBuffer
+
+__all__ = ["estimate_gradient", "clip_elementwise", "GradientEstimator"]
+
+
+def estimate_gradient(
+    stored_gradient: np.ndarray,
+    buffer: LbfgsBuffer,
+    recovered_params: np.ndarray,
+    historical_params: np.ndarray,
+) -> np.ndarray:
+    """Eq. 6: ``ḡ = g + H̃ (w̄ − w)`` with H̃ from the client's buffer."""
+    stored_gradient = np.asarray(stored_gradient, dtype=np.float64).ravel()
+    displacement = np.asarray(recovered_params, dtype=np.float64).ravel() - np.asarray(
+        historical_params, dtype=np.float64
+    ).ravel()
+    if stored_gradient.shape != displacement.shape:
+        raise ValueError(
+            f"gradient/displacement mismatch: {stored_gradient.shape} vs "
+            f"{displacement.shape}"
+        )
+    return stored_gradient + buffer.hvp(displacement)
+
+
+def clip_elementwise(gradient: np.ndarray, threshold: float) -> np.ndarray:
+    """Eq. 7: scale each element with ``|x| > L`` down to ``±L``.
+
+    Equivalent to ``x / max(1, |x|/L)`` evaluated element-wise, i.e.
+    ``np.clip(x, -L, L)``.
+    """
+    if threshold <= 0:
+        raise ValueError(f"clip threshold must be positive, got {threshold}")
+    gradient = np.asarray(gradient, dtype=np.float64)
+    return np.clip(gradient, -threshold, threshold)
+
+
+class GradientEstimator:
+    """Per-client estimation state: an L-BFGS buffer plus Eq. 6/7 glue.
+
+    One estimator exists per remaining client during recovery; the
+    recovery loop feeds it vector pairs (seeding from pre-``F`` history,
+    refreshing from recovery rounds) and asks for clipped estimates.
+    """
+
+    def __init__(self, buffer_size: int = 2, clip_threshold: float = 1.0):
+        self.buffer = LbfgsBuffer(buffer_size=buffer_size)
+        if clip_threshold <= 0:
+            raise ValueError("clip_threshold must be positive")
+        self.clip_threshold = clip_threshold
+        self.estimates_made = 0
+        self.pairs_accepted = 0
+        self.pairs_rejected = 0
+
+    def seed_pair(self, delta_w: np.ndarray, delta_g: np.ndarray) -> bool:
+        """Add a vector pair; tracks accept/reject statistics."""
+        accepted = self.buffer.add_pair(delta_w, delta_g)
+        if accepted:
+            self.pairs_accepted += 1
+        else:
+            self.pairs_rejected += 1
+        return accepted
+
+    def estimate(
+        self,
+        stored_gradient: np.ndarray,
+        recovered_params: np.ndarray,
+        historical_params: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 6 followed by Eq. 7."""
+        raw = estimate_gradient(
+            stored_gradient, self.buffer, recovered_params, historical_params
+        )
+        self.estimates_made += 1
+        return clip_elementwise(raw, self.clip_threshold)

@@ -1,0 +1,173 @@
+"""Compact-form L-BFGS Hessian approximation (Algorithm 2 of the paper).
+
+The recovery step (Eq. 6) needs the integrated Hessian
+``H_t^i = ∫ H(w_t + z(w̄_t − w_t)) dz``, which is intractable; the paper
+(following FedRecover and DeltaGrad) approximates it with L-BFGS from
+*vector pairs* — differences of global models ``Δw`` and of model
+updates ``Δg`` from past rounds.
+
+Algorithm 2 is the Byrd–Nocedal–Schnabel compact representation of the
+BFGS approximation ``B`` of the Hessian with ``B_0 = σI``:
+
+    B = σI − [ΔG  σΔW] · M⁻¹ · [ΔGᵀ; σΔWᵀ],
+    M = [[−D, Lᵀ], [L, σΔWᵀΔW]],
+
+where ``A = ΔWᵀΔG``, ``L = tril(A, −1)``, ``D = diag(A)`` and
+``σ = (Δgᵀ_{s−1} Δw_{s−1}) / (Δwᵀ_{s−1} Δw_{s−1})``.
+
+The paper's Algorithm 2 returns the matrix ``H̃``; for real models
+(d ~ 10⁴–10⁶) materializing a d×d matrix is impossible, so
+:class:`LbfgsBuffer` exposes the Hessian-*vector* product
+:meth:`LbfgsBuffer.hvp` (what Eq. 6 actually consumes) and offers
+:meth:`LbfgsBuffer.dense` only for small-d verification in tests.
+
+Robustness: with estimated (sign-direction) vector pairs the curvature
+condition ``Δwᵀ Δg > 0`` may fail and ``M`` may be singular.  Pairs
+with non-positive or negligible curvature are rejected at insertion,
+``σ`` is clamped positive, and the middle system falls back to
+least-squares when singular — the same guards FedRecover needs in
+practice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LbfgsBuffer", "lbfgs_hessian_dense"]
+
+_MIN_CURVATURE = 1e-12
+_MIN_NORM = 1e-12
+
+
+class LbfgsBuffer:
+    """Rolling buffer of L-BFGS vector pairs for one client.
+
+    Parameters
+    ----------
+    buffer_size:
+        ``s`` — maximum number of retained pairs (paper default 2).
+    sigma_floor:
+        Lower clamp for the initial-curvature scalar σ.
+    """
+
+    def __init__(self, buffer_size: int = 2, sigma_floor: float = 1e-8):
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if sigma_floor <= 0:
+            raise ValueError("sigma_floor must be positive")
+        self.buffer_size = buffer_size
+        self.sigma_floor = sigma_floor
+        self._pairs: Deque[Tuple[np.ndarray, np.ndarray]] = deque(maxlen=buffer_size)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no usable curvature information is held."""
+        return not self._pairs
+
+    def add_pair(self, delta_w: np.ndarray, delta_g: np.ndarray) -> bool:
+        """Insert a vector pair; returns False if rejected.
+
+        Rejection reasons: shape mismatch is an error; near-zero
+        ``Δw`` or non-positive curvature ``ΔwᵀΔg`` are silently skipped
+        (they would make BFGS indefinite).
+        """
+        delta_w = np.asarray(delta_w, dtype=np.float64).ravel()
+        delta_g = np.asarray(delta_g, dtype=np.float64).ravel()
+        if delta_w.shape != delta_g.shape:
+            raise ValueError(
+                f"pair shape mismatch: {delta_w.shape} vs {delta_g.shape}"
+            )
+        if float(np.linalg.norm(delta_w)) < _MIN_NORM:
+            return False
+        if float(delta_w @ delta_g) <= _MIN_CURVATURE:
+            return False
+        self._pairs.append((delta_w.copy(), delta_g.copy()))
+        return True
+
+    def clear(self) -> None:
+        """Drop all pairs (used by the vector-pair refresh policy)."""
+        self._pairs.clear()
+
+    # ------------------------------------------------------------------
+    def _matrices(self) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Stack pairs into (ΔW, ΔG) of shape (d, s) and compute σ."""
+        dw = np.stack([p[0] for p in self._pairs], axis=1)
+        dg = np.stack([p[1] for p in self._pairs], axis=1)
+        s_last = dw[:, -1]
+        y_last = dg[:, -1]
+        sigma = float(y_last @ s_last) / float(s_last @ s_last)
+        sigma = max(sigma, self.sigma_floor)
+        return dw, dg, sigma
+
+    def hvp(self, vector: np.ndarray) -> np.ndarray:
+        """Approximate ``H̃ · vector``.
+
+        With an empty buffer the approximation is ``H̃ = 0`` — i.e.
+        Eq. 6 degenerates to ``ḡ = g``, which is the bootstrap behaviour
+        for clients lacking pre-``F`` history (see §IV-B).
+        """
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if self.is_empty:
+            return np.zeros_like(vector)
+        dw, dg, sigma = self._matrices()
+        if dw.shape[0] != vector.size:
+            raise ValueError(
+                f"vector has {vector.size} elements, pairs have {dw.shape[0]}"
+            )
+        a = dw.T @ dg  # (s, s)
+        lower = np.tril(a, k=-1)
+        d = np.diag(np.diag(a))
+        s = a.shape[0]
+        middle = np.zeros((2 * s, 2 * s))
+        middle[:s, :s] = -d
+        middle[:s, s:] = lower.T
+        middle[s:, :s] = lower
+        middle[s:, s:] = sigma * (dw.T @ dw)
+        rhs = np.concatenate([dg.T @ vector, sigma * (dw.T @ vector)])
+        try:
+            p = np.linalg.solve(middle, rhs)
+        except np.linalg.LinAlgError:
+            p, *_ = np.linalg.lstsq(middle, rhs, rcond=None)
+        wing = np.concatenate([dg, sigma * dw], axis=1)  # (d, 2s)
+        return sigma * vector - wing @ p
+
+    def dense(self, dim: int) -> np.ndarray:
+        """Materialize ``H̃`` as a (dim, dim) matrix — tests/small d only."""
+        if dim > 4096:
+            raise ValueError("refusing to materialize a Hessian larger than 4096²")
+        eye = np.eye(dim)
+        return np.stack([self.hvp(eye[:, j]) for j in range(dim)], axis=1)
+
+
+def lbfgs_hessian_dense(
+    delta_w: np.ndarray, delta_g: np.ndarray, sigma: Optional[float] = None
+) -> np.ndarray:
+    """Direct transcription of Algorithm 2 (matrix form), for testing.
+
+    Parameters
+    ----------
+    delta_w, delta_g:
+        Vector-pair matrices of shape ``(d, s)``.
+    sigma:
+        Optional σ override; defaults to the paper's last-pair ratio.
+    """
+    dw = np.asarray(delta_w, dtype=np.float64)
+    dg = np.asarray(delta_g, dtype=np.float64)
+    if dw.shape != dg.shape or dw.ndim != 2:
+        raise ValueError("delta_w and delta_g must share shape (d, s)")
+    d, s = dw.shape
+    if sigma is None:
+        sigma = float(dg[:, -1] @ dw[:, -1]) / float(dw[:, -1] @ dw[:, -1])
+    a = dw.T @ dg
+    lower = np.tril(a, k=-1)
+    diag = np.diag(np.diag(a))
+    middle = np.block([[-diag, lower.T], [lower, sigma * (dw.T @ dw)]])
+    rhs = np.concatenate([dg.T, sigma * dw.T], axis=0)  # (2s, d)
+    p = np.linalg.solve(middle, rhs)
+    return sigma * np.eye(d) - np.concatenate([dg, sigma * dw], axis=1) @ p

@@ -1,0 +1,193 @@
+"""High-level unlearning service — the RSU operator's API.
+
+The lower layers expose each mechanism separately (stores, ledger,
+recovery, detection, persistence).  :class:`UnlearningService` ties
+them into the three workflows of §IV-A, each one call:
+
+- :meth:`handle_erasure_request` — a vehicle exercises its right to be
+  forgotten (scenario 1);
+- :meth:`handle_departed_vehicle` — erase a vehicle that dropped out or
+  left FL (scenario 2);
+- :meth:`scan_and_purge_attackers` — detect poisoners from the stored
+  history and erase them (scenario 3).
+
+All three run entirely server-side on the stored record, return the
+recovered parameters, and purge the forgotten clients' stored updates
+(the erasure is not complete while their gradients sit in the store).
+The service can be checkpointed to disk and resumed
+(:meth:`persist` / :meth:`UnlearningService.restore`), because erasure
+requests arrive long after training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.defenses import DetectionReport, detect_malicious_clients
+from repro.fl.history import TrainingRecord
+from repro.fl.persistence import load_record, save_record
+from repro.nn.model import Sequential
+from repro.unlearning.base import UnlearnResult
+from repro.unlearning.recovery import SignRecoveryUnlearner
+from repro.utils.logging import get_logger
+
+__all__ = ["UnlearningService", "ErasureOutcome"]
+
+_log = get_logger("unlearning.service")
+
+
+@dataclass
+class ErasureOutcome:
+    """What one erasure workflow produced.
+
+    Attributes
+    ----------
+    forgotten:
+        The erased client ids.
+    params:
+        The recovered global model parameters.
+    result:
+        The underlying :class:`~repro.unlearning.base.UnlearnResult`.
+    purged_records:
+        Stored gradient records deleted for the forgotten clients.
+    detection:
+        The detection report, when the workflow was attacker-driven.
+    """
+
+    forgotten: List[int]
+    params: np.ndarray
+    result: UnlearnResult
+    purged_records: int
+    detection: Optional[DetectionReport] = None
+
+
+@dataclass
+class UnlearningService:
+    """Server-side unlearning operations over one training record.
+
+    Parameters
+    ----------
+    record:
+        The RSU's stored history (typically sign-store backed).
+    model:
+        Scratch model of the trained architecture.
+    clip_threshold, buffer_size, refresh_period:
+        Recovery hyperparameters (Eq. 7 ``L``, ``s``, refresh).
+    """
+
+    record: TrainingRecord
+    model: Sequential
+    clip_threshold: float = 1.0
+    buffer_size: int = 2
+    refresh_period: int = 21
+    _erased: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _unlearner(self) -> SignRecoveryUnlearner:
+        return SignRecoveryUnlearner(
+            clip_threshold=self.clip_threshold,
+            buffer_size=self.buffer_size,
+            refresh_period=self.refresh_period,
+        )
+
+    def _erase(self, client_ids: Sequence[int]) -> ErasureOutcome:
+        client_ids = sorted(set(int(c) for c in client_ids))
+        already = set(self._erased) & set(client_ids)
+        if already:
+            raise ValueError(f"clients {sorted(already)} were already erased")
+        # Previously erased clients stay in the forget set: their
+        # gradients are purged, and the counterfactual model must keep
+        # excluding them.
+        forget = sorted(set(client_ids) | set(self._erased))
+        result = self._unlearner().unlearn(self.record, forget, self.model)
+        purged = sum(self.record.gradients.drop_client(cid) for cid in client_ids)
+        self._erased.extend(client_ids)
+        self.record.metadata["erased_clients"] = sorted(self._erased)
+        _log.info(
+            "erased clients %s: replayed %d rounds, purged %d stored records",
+            client_ids, result.rounds_replayed, purged,
+        )
+        return ErasureOutcome(
+            forgotten=client_ids,
+            params=result.params,
+            result=result,
+            purged_records=purged,
+        )
+
+    # ------------------------------------------------------------------
+    # the three §IV-A workflows
+    # ------------------------------------------------------------------
+    def handle_erasure_request(self, client_id: int) -> ErasureOutcome:
+        """Scenario 1: a vehicle invokes its right to be forgotten."""
+        return self._erase([client_id])
+
+    def handle_departed_vehicle(self, client_id: int) -> ErasureOutcome:
+        """Scenario 2: erase a vehicle that dropped out of / left FL.
+
+        Works whether or not the ledger shows a leave — a vehicle that
+        silently dropped out for good looks identical to the server.
+        """
+        return self._erase([client_id])
+
+    def scan_and_purge_attackers(
+        self, z_threshold: float = 1.5
+    ) -> Optional[ErasureOutcome]:
+        """Scenario 3: detect poisoners from the stored history and
+        erase them.  Returns ``None`` when nothing is flagged."""
+        report = detect_malicious_clients(self.record, z_threshold=z_threshold)
+        if not report.flagged:
+            _log.info("attacker scan: nothing flagged")
+            return None
+        candidates = [c for c in report.flagged if c not in self._erased]
+        if not candidates:
+            return None
+        outcome = self._erase(candidates)
+        outcome.detection = report
+        return outcome
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def erased_clients(self) -> List[int]:
+        """Clients erased so far (sorted)."""
+        return sorted(self._erased)
+
+    def active_clients(self) -> List[int]:
+        """Known clients not yet erased."""
+        erased = set(self._erased)
+        return [c for c in self.record.ledger.known_clients() if c not in erased]
+
+    def storage_bytes(self) -> Dict[str, int]:
+        """Current server storage footprint."""
+        return self.record.storage_bytes()
+
+    def persist(self, directory: str) -> None:
+        """Checkpoint the (possibly already-purged) record to disk."""
+        save_record(self.record, directory)
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        model: Sequential,
+        clip_threshold: float = 1.0,
+        buffer_size: int = 2,
+        refresh_period: int = 21,
+    ) -> "UnlearningService":
+        """Resume a service from a persisted record."""
+        record = load_record(directory)
+        service = cls(
+            record=record,
+            model=model,
+            clip_threshold=clip_threshold,
+            buffer_size=buffer_size,
+            refresh_period=refresh_period,
+        )
+        service._erased = [int(c) for c in record.metadata.get("erased_clients", [])]
+        return service

@@ -1,0 +1,90 @@
+"""Flat parameter-vector helpers.
+
+The unlearning algebra of the paper (backtracking, Cauchy mean-value
+estimation, L-BFGS, clipping) all operates on flat vectors
+``w ∈ R^d``.  The neural-network substrate exposes its parameters as a
+list of arrays; these helpers convert between the two representations
+and provide the vector metrics used across tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "flatten_arrays",
+    "unflatten_vector",
+    "vector_l2",
+    "vector_cosine",
+    "shapes_of",
+    "total_size",
+]
+
+
+def shapes_of(arrays: Sequence[np.ndarray]) -> List[Tuple[int, ...]]:
+    """Return the shape of each array in ``arrays``."""
+    return [tuple(a.shape) for a in arrays]
+
+
+def total_size(shapes: Sequence[Tuple[int, ...]]) -> int:
+    """Total element count across ``shapes``."""
+    return int(sum(int(np.prod(s)) for s in shapes))
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate ``arrays`` into one flat float64 vector.
+
+    Always copies, so mutating the result never aliases model state.
+    """
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+
+
+def unflatten_vector(
+    vector: np.ndarray, shapes: Sequence[Tuple[int, ...]]
+) -> List[np.ndarray]:
+    """Split flat ``vector`` back into arrays of the given ``shapes``.
+
+    Raises
+    ------
+    ValueError
+        If the vector length does not match the total size of ``shapes``.
+    """
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    expected = total_size(shapes)
+    if vector.size != expected:
+        raise ValueError(
+            f"vector has {vector.size} elements but shapes require {expected}"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape))
+        out.append(vector[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out
+
+
+def vector_l2(vector: np.ndarray) -> float:
+    """Euclidean norm of a flat vector."""
+    return float(np.linalg.norm(np.asarray(vector, dtype=np.float64)))
+
+
+def vector_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two flat vectors.
+
+    Returns 0.0 when either vector is (numerically) zero, which is the
+    convention the recovery-error diagnostics expect.
+    """
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na < 1e-300 or nb < 1e-300:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))

@@ -1,0 +1,47 @@
+"""Structured logging for the reproduction.
+
+All components log through named children of the ``repro`` logger so a
+single call to :func:`configure` controls verbosity for experiments,
+and tests stay silent by default (the root ``repro`` logger gets a
+:class:`logging.NullHandler`).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the logger ``repro.<name>`` (or ``repro`` for empty name)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: int = logging.INFO, stream=None) -> None:
+    """Attach a stderr handler with a compact format to the repro root.
+
+    Safe to call repeatedly — replaces any previously attached stream
+    handler instead of stacking duplicates.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+    )
+    root.addHandler(handler)

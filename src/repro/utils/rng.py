@@ -1,0 +1,119 @@
+"""Deterministic, hierarchical random-number generation.
+
+Every stochastic component in the reproduction (dataset synthesis, data
+partitioning, client sampling, SGD minibatching, attack selection,
+mobility traces) draws from a :class:`numpy.random.Generator` handed to
+it explicitly.  No module touches the global NumPy RNG.  A single root
+seed therefore fixes the entire experiment.
+
+The :class:`SeedSequenceTree` gives each named component its own
+independent stream, so adding a new consumer of randomness does not
+perturb the draws of existing ones — a property plain sequential seeding
+does not have and one that matters when comparing unlearning baselines
+that must see *identical* training randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["SeedSequenceTree", "new_rng", "spawn_rngs"]
+
+
+def new_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a fresh :class:`numpy.random.Generator` from ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        Any value acceptable to :class:`numpy.random.default_rng`.
+        ``None`` draws entropy from the OS (only useful interactively;
+        experiments always pass an explicit seed).
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators from a single ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
+    the child streams are statistically independent regardless of
+    ``count``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+class SeedSequenceTree:
+    """Named, stable sub-streams derived from one root seed.
+
+    Each distinct ``name`` passed to :meth:`rng` yields an independent
+    generator whose stream depends only on ``(root_seed, name)`` — not
+    on the order or number of other names requested.  Repeated calls
+    with the same name return *new* generators over the same stream
+    start, so callers should request a stream once and keep it.
+
+    Examples
+    --------
+    >>> tree = SeedSequenceTree(1234)
+    >>> a = tree.rng("dataset")
+    >>> b = tree.rng("partition")
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+        self._cache: Dict[str, np.random.SeedSequence] = {}
+
+    def _sequence(self, name: str) -> np.random.SeedSequence:
+        if name not in self._cache:
+            # Hash the name into a stable integer stream key.  Python's
+            # hash() is salted per-process, so use a simple explicit
+            # polynomial hash instead.
+            key = 0
+            for ch in name:
+                key = (key * 131 + ord(ch)) % (2**63)
+            self._cache[name] = np.random.SeedSequence(
+                entropy=self.root_seed, spawn_key=(key,)
+            )
+        return self._cache[name]
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Return a generator for the named sub-stream."""
+        return np.random.default_rng(self._sequence(name))
+
+    def child(self, name: str) -> "SeedSequenceTree":
+        """Return a subtree rooted at ``(root_seed, name)``.
+
+        Useful for handing a whole component (for example one FL
+        client) its own namespace of streams.
+        """
+        seq = self._sequence(name)
+        derived = int(np.random.default_rng(seq).integers(0, 2**62))
+        return SeedSequenceTree(derived)
+
+    def integers(self, name: str, low: int, high: int, size: int) -> np.ndarray:
+        """Convenience: draw ``size`` integers in ``[low, high)`` from a stream."""
+        return self.rng(name).integers(low, high, size=size)
+
+    def spawn(self, name: str, count: int) -> List[np.random.Generator]:
+        """Spawn ``count`` independent generators under ``name``."""
+        seq = self._sequence(name)
+        return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def stable_hash(items: Iterable[str]) -> int:
+    """Order-sensitive stable hash of a sequence of strings.
+
+    Used to derive deterministic seeds from experiment identifiers.
+    """
+    key = 17
+    for item in items:
+        for ch in str(item):
+            key = (key * 1000003 + ord(ch)) % (2**61 - 1)
+    return key

@@ -1,0 +1,62 @@
+"""Serialization of experiment artifacts.
+
+Experiments write three kinds of artifacts:
+
+- model checkpoints (flat float arrays) — ``.npz``
+- experiment result records (nested dict of scalars/lists) — ``.json``
+- packed sign-gradient archives — handled by :mod:`repro.storage`
+
+Everything here is plain-stdlib + NumPy; no pickle, so artifacts are
+portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_arrays", "load_arrays"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert NumPy scalars/arrays into JSON-native types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def save_json(path: str, record: Mapping[str, Any]) -> None:
+    """Write ``record`` as pretty-printed JSON, creating parent dirs."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_jsonify(dict(record)), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Load a JSON record written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_arrays(path: str, arrays: Mapping[str, np.ndarray]) -> None:
+    """Save named arrays as a compressed ``.npz`` archive."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+
+
+def load_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive into a plain dict of arrays."""
+    with np.load(path) as data:
+        return {name: data[name].copy() for name in data.files}

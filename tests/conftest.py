@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (a trained federated record) are session-scoped:
+many unlearning tests share one small training run, which keeps the
+suite fast while still exercising the real pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset, make_synthetic_mnist, partition_iid, train_test_split
+from repro.fl import FederatedSimulation, ParticipationSchedule, VehicleClient
+from repro.nn import mlp
+from repro.storage import FullGradientStore
+from repro.utils.rng import SeedSequenceTree
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> ArrayDataset:
+    """64 random 2-class samples with 8 features."""
+    x = rng.normal(size=(64, 8))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return ArrayDataset(x=x, y=y, num_classes=2, name="tiny")
+
+
+SMALL_IMAGE = 14
+SMALL_FEATURES = SMALL_IMAGE * SMALL_IMAGE
+
+
+def _make_small_fl(seed: int = 77, num_rounds: int = 40, forget_join: int = 2):
+    """A small but real FL setup: 6 clients, MNIST-like 14x14, MLP."""
+    tree = SeedSequenceTree(seed)
+    data = make_synthetic_mnist(900, tree.rng("data"), image_size=SMALL_IMAGE)
+    train, test = train_test_split(data, 0.2, tree.rng("split"))
+    shards = partition_iid(train, 6, tree.rng("part"))
+    clients = [
+        VehicleClient(i, shards[i], tree.rng(f"client{i}"), batch_size=32)
+        for i in range(6)
+    ]
+    model = mlp(tree.rng("model"), SMALL_FEATURES, 10, hidden=24)
+
+    def factory():
+        return mlp(tree.rng("model"), SMALL_FEATURES, 10, hidden=24)
+
+    schedule = ParticipationSchedule.with_events(range(6), joins={5: forget_join})
+    sim = FederatedSimulation(
+        model,
+        clients,
+        learning_rate=2e-3,
+        schedule=schedule,
+        gradient_store=FullGradientStore(),
+        test_set=test,
+        eval_every=1000,
+    )
+    record = sim.run(num_rounds)
+    return {
+        "record": record,
+        "model": model,
+        "factory": factory,
+        "clients": {c.client_id: c for c in clients},
+        "test": test,
+        "train": train,
+        "forget_id": 5,
+        "forget_join": forget_join,
+        "tree": tree,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_fl():
+    """Session-scoped trained FL run shared by unlearning tests.
+
+    Tests must not mutate the record; the model's parameters may be
+    overwritten freely (every consumer sets them before use).
+    """
+    return _make_small_fl()

@@ -1,0 +1,163 @@
+"""Tests for repro.attacks — label flip, backdoor, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BackdoorAttack,
+    LabelFlipAttack,
+    attack_success_rate,
+    sample_malicious_clients,
+)
+from repro.datasets import ArrayDataset, make_synthetic_mnist
+from repro.nn import mlp
+
+
+@pytest.fixture
+def dataset(rng):
+    return make_synthetic_mnist(120, rng, image_size=12)
+
+
+class TestLabelFlip:
+    def test_flips_all_source_labels(self, dataset):
+        attack = LabelFlipAttack(source_class=7, target_class=1)
+        poisoned = attack.poison(dataset)
+        assert not (poisoned.y == 7).any()
+        originally_7 = dataset.y == 7
+        assert (poisoned.y[originally_7 & (np.arange(len(dataset)) < len(poisoned))] == 1).all()
+
+    def test_other_labels_untouched(self, dataset):
+        attack = LabelFlipAttack(source_class=7, target_class=1)
+        poisoned = attack.poison(dataset)
+        others = dataset.y != 7
+        np.testing.assert_array_equal(poisoned.y[: len(dataset)][others], dataset.y[others])
+
+    def test_images_unchanged(self, dataset):
+        poisoned = LabelFlipAttack().poison(dataset)
+        np.testing.assert_array_equal(poisoned.x[: len(dataset)], dataset.x)
+
+    def test_partial_flip(self, dataset, rng):
+        attack = LabelFlipAttack(flip_fraction=0.5)
+        poisoned = attack.poison(dataset, rng=rng)
+        n_src = int((dataset.y == 7).sum())
+        remaining = int((poisoned.y == 7).sum())
+        assert 0 < remaining < n_src
+
+    def test_partial_flip_without_rng_raises(self, dataset):
+        with pytest.raises(ValueError):
+            LabelFlipAttack(flip_fraction=0.5).poison(dataset)
+
+    def test_oversample_grows_dataset(self, dataset):
+        attack = LabelFlipAttack(oversample=3)
+        poisoned = attack.poison(dataset)
+        n_src = int((dataset.y == 7).sum())
+        assert len(poisoned) == len(dataset) + 2 * n_src
+
+    def test_oversampled_are_target_labelled(self, dataset):
+        poisoned = LabelFlipAttack(oversample=2).poison(dataset)
+        assert (poisoned.y[len(dataset) :] == 1).all()
+
+    def test_same_source_target_raises(self):
+        with pytest.raises(ValueError):
+            LabelFlipAttack(source_class=1, target_class=1)
+
+    def test_class_out_of_range_raises(self, rng):
+        small = ArrayDataset(rng.normal(size=(10, 2)), rng.integers(0, 3, 10), num_classes=3)
+        with pytest.raises(ValueError):
+            LabelFlipAttack(source_class=7, target_class=1).poison(small)
+
+    def test_describe(self):
+        assert "7->1" in LabelFlipAttack().describe()
+
+
+class TestBackdoor:
+    def test_stamp_writes_trigger(self, dataset):
+        attack = BackdoorAttack(trigger_size=3, trigger_value=1.0, corner="br", margin=1)
+        stamped = attack.stamp(dataset.x)
+        assert (stamped[:, :, -4:-1, -4:-1] == 1.0).all()
+
+    def test_stamp_leaves_rest(self, dataset):
+        attack = BackdoorAttack(trigger_size=3)
+        stamped = attack.stamp(dataset.x)
+        np.testing.assert_array_equal(stamped[:, :, :5, :5], dataset.x[:, :, :5, :5])
+
+    def test_poison_relabels(self, dataset, rng):
+        attack = BackdoorAttack(target_class=2, poison_fraction=0.5)
+        poisoned = attack.poison(dataset, rng)
+        n_target = int((poisoned.y == 2).sum())
+        assert n_target >= int(0.5 * len(dataset))
+
+    def test_poison_fraction_respected(self, dataset, rng):
+        attack = BackdoorAttack(poison_fraction=0.25)
+        poisoned = attack.poison(dataset, rng)
+        changed = (poisoned.x != dataset.x).any(axis=(1, 2, 3))
+        assert abs(int(changed.sum()) - round(0.25 * len(dataset))) <= len(dataset) // 10
+
+    def test_trigger_test_set_excludes_target_class(self, dataset):
+        attack = BackdoorAttack(target_class=2)
+        eval_set = attack.trigger_test_set(dataset)
+        assert len(eval_set) == int((dataset.y != 2).sum())
+        assert (eval_set.y == 2).all()
+
+    def test_corners(self, dataset):
+        for corner in ("br", "bl", "tr", "tl"):
+            attack = BackdoorAttack(corner=corner, margin=0, trigger_size=2)
+            stamped = attack.stamp(dataset.x[:1])
+            assert (stamped == 1.0).any()
+
+    def test_trigger_too_big_raises(self, rng):
+        tiny = rng.random((2, 1, 4, 4))
+        with pytest.raises(ValueError):
+            BackdoorAttack(trigger_size=5).stamp(tiny)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BackdoorAttack(trigger_size=0)
+        with pytest.raises(ValueError):
+            BackdoorAttack(poison_fraction=0.0)
+        with pytest.raises(ValueError):
+            BackdoorAttack(corner="xx")
+        with pytest.raises(ValueError):
+            BackdoorAttack(margin=-1)
+
+    def test_non_4d_raises(self, rng):
+        with pytest.raises(ValueError):
+            BackdoorAttack().stamp(rng.random((3, 8, 8)))
+
+
+class TestAttackSuccessRate:
+    def test_counts_target_predictions(self, rng):
+        model = mlp(rng, 4, 3, hidden=4)
+        data = ArrayDataset(rng.normal(size=(30, 4)), np.zeros(30, dtype=int), num_classes=3)
+        asr = attack_success_rate(model, data, target_class=1)
+        preds = model.predict(data.x)
+        assert asr == pytest.approx(float(np.mean(preds == 1)))
+
+    def test_empty_raises(self, rng):
+        model = mlp(rng, 4, 3, hidden=4)
+        empty = ArrayDataset(np.zeros((0, 4)), np.zeros(0, dtype=int), num_classes=3)
+        with pytest.raises(ValueError):
+            attack_success_rate(model, empty, 1)
+
+
+class TestSampleMalicious:
+    def test_twenty_percent(self, rng):
+        chosen = sample_malicious_clients(100, 0.2, rng)
+        assert len(chosen) == 20
+        assert len(set(chosen)) == 20
+
+    def test_at_least_one(self, rng):
+        assert len(sample_malicious_clients(3, 0.01, rng)) == 1
+
+    def test_zero_fraction(self, rng):
+        assert sample_malicious_clients(10, 0.0, rng) == []
+
+    def test_sorted_output(self, rng):
+        chosen = sample_malicious_clients(50, 0.3, rng)
+        assert chosen == sorted(chosen)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            sample_malicious_clients(0, 0.2, rng)
+        with pytest.raises(ValueError):
+            sample_malicious_clients(10, 1.5, rng)

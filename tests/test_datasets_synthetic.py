@@ -1,0 +1,174 @@
+"""Tests for the procedural MNIST-like and GTSRB-like generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DIGIT_STROKES,
+    SIGN_CLASSES,
+    make_synthetic_gtsrb,
+    make_synthetic_mnist,
+    render_digit,
+    render_sign,
+)
+
+
+class TestRenderDigit:
+    def test_all_digits_defined(self):
+        assert sorted(DIGIT_STROKES) == list(range(10))
+
+    def test_shape_and_range(self):
+        img = render_digit(3)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_custom_size(self):
+        assert render_digit(0, image_size=16).shape == (16, 16)
+
+    def test_canonical_deterministic(self):
+        np.testing.assert_array_equal(render_digit(5), render_digit(5))
+
+    def test_augmented_varies(self, rng):
+        a = render_digit(5, rng=rng)
+        b = render_digit(5, rng=rng)
+        assert not np.array_equal(a, b)
+
+    def test_classes_are_distinct(self):
+        """Canonical glyphs must be pairwise separable."""
+        canonical = {d: render_digit(d) for d in range(10)}
+        for a, b in itertools.combinations(range(10), 2):
+            diff = np.abs(canonical[a] - canonical[b]).mean()
+            assert diff > 0.01, f"digits {a} and {b} render too similarly"
+
+    def test_has_ink(self):
+        for d in range(10):
+            assert render_digit(d).max() > 0.5, f"digit {d} renders blank"
+
+    def test_invalid_digit_raises(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+
+class TestMakeSyntheticMnist:
+    def test_shapes(self, rng):
+        ds = make_synthetic_mnist(50, rng, image_size=20)
+        assert ds.x.shape == (50, 1, 20, 20)
+        assert ds.y.shape == (50,)
+        assert ds.num_classes == 10
+
+    def test_roughly_balanced(self, rng):
+        ds = make_synthetic_mnist(1000, rng)
+        counts = ds.class_counts()
+        assert counts.min() > 50
+
+    def test_class_weights(self, rng):
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        ds = make_synthetic_mnist(40, rng, class_weights=weights)
+        assert (ds.y == 3).all()
+
+    def test_invalid_weights_raise(self, rng):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(10, rng, class_weights=[1.0] * 9)
+
+    def test_zero_samples_raise(self, rng):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_mnist(20, np.random.default_rng(5))
+        b = make_synthetic_mnist(20, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestRenderSign:
+    def test_all_classes_defined(self):
+        assert sorted(SIGN_CLASSES) == list(range(10))
+
+    def test_shape_and_range(self):
+        img = render_sign(0)
+        assert img.shape == (3, 32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_canonical_deterministic(self):
+        np.testing.assert_array_equal(render_sign(4), render_sign(4))
+
+    def test_augmented_varies(self, rng):
+        assert not np.array_equal(render_sign(4, rng=rng), render_sign(4, rng=rng))
+
+    def test_classes_are_distinct(self):
+        canonical = {c: render_sign(c) for c in SIGN_CLASSES}
+        for a, b in itertools.combinations(SIGN_CLASSES, 2):
+            diff = np.abs(canonical[a] - canonical[b]).mean()
+            assert diff > 0.005, f"signs {a} and {b} render too similarly"
+
+    def test_colors_differ_between_red_and_blue_families(self):
+        stop = render_sign(5)  # red octagon
+        ahead = render_sign(6)  # blue circle
+        # Pixel above center (inside fill, off the glyph): red channel
+        # dominates for stop, blue for ahead-only.
+        r, c = 9, 16
+        assert stop[0, r, c] > stop[2, r, c]
+        assert ahead[2, r, c] > ahead[0, r, c]
+
+    def test_invalid_class_raises(self):
+        with pytest.raises(ValueError):
+            render_sign(99)
+
+
+class TestMakeSyntheticGtsrb:
+    def test_shapes(self, rng):
+        ds = make_synthetic_gtsrb(30, rng, image_size=24)
+        assert ds.x.shape == (30, 3, 24, 24)
+        assert ds.num_classes == 10
+
+    def test_restricted_classes(self, rng):
+        ds = make_synthetic_gtsrb(40, rng, num_classes=4)
+        assert ds.y.max() < 4
+
+    def test_invalid_num_classes(self, rng):
+        with pytest.raises(ValueError):
+            make_synthetic_gtsrb(10, rng, num_classes=1)
+        with pytest.raises(ValueError):
+            make_synthetic_gtsrb(10, rng, num_classes=99)
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_gtsrb(15, np.random.default_rng(6))
+        b = make_synthetic_gtsrb(15, np.random.default_rng(6))
+        np.testing.assert_array_equal(a.x, b.x)
+
+
+class TestLearnability:
+    """The substitution argument (DESIGN.md §2) requires both synthetic
+    tasks to be learnable by small models — checked cheaply here."""
+
+    def test_mnist_like_learnable(self):
+        from repro.nn import SGD, accuracy, mlp
+
+        rng = np.random.default_rng(0)
+        train = make_synthetic_mnist(600, np.random.default_rng(1), image_size=14)
+        test = make_synthetic_mnist(200, np.random.default_rng(2), image_size=14)
+        model = mlp(np.random.default_rng(3), 14 * 14, 10, hidden=32)
+        opt = SGD(lr=0.5)
+        for _ in range(25):
+            for xb, yb in train.batches(64, rng=rng):
+                _, grad = model.loss_and_flat_grad(xb, yb)
+                model.set_flat_params(opt.step(model.get_flat_params(), grad))
+        assert accuracy(model.predict(test.x), test.y) > 0.8
+
+    def test_gtsrb_like_learnable(self):
+        from repro.nn import SGD, accuracy, mlp
+
+        rng = np.random.default_rng(0)
+        train = make_synthetic_gtsrb(700, np.random.default_rng(1), image_size=16)
+        test = make_synthetic_gtsrb(200, np.random.default_rng(2), image_size=16)
+        model = mlp(np.random.default_rng(3), 3 * 16 * 16, 10, hidden=32)
+        opt = SGD(lr=0.1)
+        for _ in range(30):
+            for xb, yb in train.batches(64, rng=rng):
+                _, grad = model.loss_and_flat_grad(xb, yb)
+                model.set_flat_params(opt.step(model.get_flat_params(), grad))
+        assert accuracy(model.predict(test.x), test.y) > 0.7

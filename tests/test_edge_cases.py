@@ -1,0 +1,123 @@
+"""Edge-case and failure-injection tests across the unlearning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_synthetic_mnist, partition_iid, train_test_split
+from repro.fl import (
+    FederatedSimulation,
+    ParticipationSchedule,
+    VehicleClient,
+    with_sign_store,
+)
+from repro.nn import mlp
+from repro.storage import FullGradientStore
+from repro.unlearning import SignRecoveryUnlearner, backtrack
+from repro.utils.rng import SeedSequenceTree
+
+
+def make_run(seed=91, rounds=25, joins=None, leaves=None, clients=5):
+    tree = SeedSequenceTree(seed)
+    data = make_synthetic_mnist(600, tree.rng("data"), image_size=12)
+    train, test = train_test_split(data, 0.25, tree.rng("split"))
+    shards = partition_iid(train, clients, tree.rng("part"))
+    vehicle_clients = [
+        VehicleClient(i, shards[i], tree.rng(f"c{i}"), batch_size=32)
+        for i in range(clients)
+    ]
+    model = mlp(tree.rng("model"), 144, 10, hidden=16)
+    schedule = ParticipationSchedule.with_events(
+        range(clients), joins=joins or {}, leaves=leaves or {}
+    )
+    sim = FederatedSimulation(
+        model, vehicle_clients, learning_rate=2e-3, schedule=schedule,
+        gradient_store=FullGradientStore(),
+    )
+    return sim.run(rounds), model, test
+
+
+class TestForgetFoundingClient:
+    """Forgetting a client that joined at round 0 degenerates to a full
+    reset — backtrack returns w_0 and recovery replays everything."""
+
+    def test_backtrack_to_initialization(self):
+        record, model, _ = make_run()
+        params, f = backtrack(record, [0])
+        assert f == 0
+        np.testing.assert_array_equal(params, record.params_at(0))
+
+    def test_recovery_from_round_zero(self):
+        record, model, _ = make_run()
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [0], model
+        )
+        assert result.stats["forget_round"] == 0
+        assert result.rounds_replayed == record.num_rounds
+        assert np.isfinite(result.params).all()
+
+
+class TestForgetDepartedClient:
+    """A client that already LEFT FL can still be forgotten — its
+    stored updates span [join, leave) only."""
+
+    def test_forget_after_leave(self):
+        record, model, _ = make_run(joins={3: 2}, leaves={3: 12}, rounds=25)
+        assert record.ledger.leave_round(3) == 12
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [3], model
+        )
+        assert result.stats["forget_round"] == 2
+        assert np.isfinite(result.params).all()
+
+    def test_forget_multiple_disjoint_clients(self):
+        record, model, _ = make_run(joins={2: 3, 4: 8}, rounds=25)
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [2, 4], model
+        )
+        # Backtracks to the EARLIEST join among the forgotten.
+        assert result.stats["forget_round"] == 3
+
+
+class TestCorruptRecord:
+    def test_missing_checkpoint_raises_cleanly(self):
+        record, model, _ = make_run(joins={4: 2})
+        record.checkpoints.prune(keep=[0, 1, record.num_rounds])
+        sign_record = with_sign_store(record)
+        with pytest.raises(KeyError):
+            SignRecoveryUnlearner().unlearn(sign_record, [4], model)
+
+    def test_backtrack_missing_f_checkpoint(self):
+        record, model, _ = make_run(joins={4: 2})
+        record.checkpoints.prune(keep=[0, record.num_rounds])
+        with pytest.raises(KeyError):
+            backtrack(record, [4])
+
+
+class TestSingleRemainingClient:
+    def test_recovery_with_one_survivor(self):
+        record, model, _ = make_run(clients=3, joins={1: 2, 2: 2})
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [1, 2], model
+        )
+        assert np.isfinite(result.params).all()
+
+
+class TestVeryLateJoin:
+    def test_forget_client_joining_last_round(self):
+        record, model, _ = make_run(joins={4: 24}, rounds=25)
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner().unlearn(sign_record, [4], model)
+        # Only one round to replay; model ~ w_T.
+        assert result.rounds_replayed == 1
+        assert result.stats["forget_round"] == 24
+
+    def test_backtracking_late_join_keeps_training(self):
+        record, model, test = make_run(joins={4: 24}, rounds=25)
+        params, f = backtrack(record, [4])
+        # The unlearned model IS the round-24 model: nearly all
+        # training outcomes are preserved (the paper's Challenge II).
+        np.testing.assert_array_equal(params, record.params_at(24))

@@ -1,0 +1,85 @@
+"""Tests for membership-inference unlearning verification."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset
+from repro.eval.verification import (
+    membership_advantage,
+    per_sample_losses,
+    verify_unlearning,
+)
+from repro.nn import SGD, mlp
+
+
+@pytest.fixture
+def model(rng):
+    return mlp(np.random.default_rng(5), 8, 3, hidden=12)
+
+
+def make_data(rng, n=40, num_classes=3):
+    x = rng.normal(size=(n, 8))
+    y = rng.integers(0, num_classes, size=n)
+    return ArrayDataset(x=x, y=y, num_classes=num_classes)
+
+
+class TestPerSampleLosses:
+    def test_shape(self, model, rng):
+        data = make_data(rng)
+        losses = per_sample_losses(model, data)
+        assert losses.shape == (40,)
+        assert (losses >= 0).all()
+
+    def test_matches_evaluate_loss(self, model, rng):
+        data = make_data(rng)
+        losses = per_sample_losses(model, data)
+        assert losses.mean() == pytest.approx(model.evaluate_loss(data.x, data.y))
+
+    def test_empty_raises(self, model):
+        empty = ArrayDataset(np.zeros((0, 8)), np.zeros(0, dtype=int), num_classes=3)
+        with pytest.raises(ValueError):
+            per_sample_losses(model, empty)
+
+
+class TestMembershipAdvantage:
+    def test_untrained_model_near_half(self, model, rng):
+        a = make_data(rng, n=100)
+        b = make_data(rng, n=100)
+        adv = membership_advantage(model, a, b)
+        assert 0.3 < adv < 0.7
+
+    def test_memorized_members_detected(self, rng):
+        """Overfit a model on member data; advantage must be high."""
+        model = mlp(np.random.default_rng(7), 8, 3, hidden=32)
+        members = make_data(rng, n=30)
+        nonmembers = make_data(rng, n=30)
+        opt = SGD(lr=0.5)
+        for _ in range(300):
+            _, grad = model.loss_and_flat_grad(members.x, members.y)
+            model.set_flat_params(opt.step(model.get_flat_params(), grad))
+        adv = membership_advantage(model, members, nonmembers)
+        assert adv > 0.8
+
+    def test_symmetric_bound(self, model, rng):
+        a, b = make_data(rng), make_data(rng)
+        adv_ab = membership_advantage(model, a, b)
+        adv_ba = membership_advantage(model, b, a)
+        assert adv_ab + adv_ba == pytest.approx(1.0, abs=1e-9)
+
+
+class TestVerifyUnlearning:
+    def test_report_keys_and_drop(self, rng):
+        """Memorize -> 'unlearn' by resetting to fresh params -> drop."""
+        model = mlp(np.random.default_rng(9), 8, 3, hidden=32)
+        fresh = model.get_flat_params()
+        members = make_data(rng, n=30)
+        holdout = make_data(rng, n=30)
+        opt = SGD(lr=0.5)
+        for _ in range(300):
+            _, grad = model.loss_and_flat_grad(members.x, members.y)
+            model.set_flat_params(opt.step(model.get_flat_params(), grad))
+        trained = model.get_flat_params()
+        report = verify_unlearning(model, trained, fresh, members, holdout)
+        assert set(report) == {"advantage_before", "advantage_after", "advantage_drop"}
+        assert report["advantage_before"] > report["advantage_after"]
+        assert report["advantage_drop"] > 0.2

@@ -1,0 +1,46 @@
+"""The examples must at least compile and expose a main() entry point.
+
+(Executing them takes ~30-60 s each, so full runs live outside the test
+suite; every example was exercised end-to-end during development and is
+driven by the same public API the integration tests cover.)
+"""
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5, "expected at least five example scripts"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    functions = [n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+    assert "main" in functions, f"{path.name} lacks a main() function"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples must demonstrate the public surface: imports come from
+    ``repro`` subpackages (not private modules) and the stdlib."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("repro"):
+                parts = node.module.split(".")
+                assert all(not p.startswith("_") for p in parts), (
+                    f"{path.name} imports private module {node.module}"
+                )

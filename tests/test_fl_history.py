@@ -1,0 +1,76 @@
+"""Direct tests for TrainingRecord beyond what validate() covers."""
+
+import numpy as np
+import pytest
+
+from repro.fl import MembershipLedger, TrainingRecord
+from repro.storage import FullGradientStore, ModelCheckpointStore
+
+
+@pytest.fixture
+def record(rng):
+    checkpoints = ModelCheckpointStore()
+    gradients = FullGradientStore()
+    ledger = MembershipLedger()
+    ledger.join(0, 0)
+    ledger.join(1, 0)
+    for t in range(4):
+        checkpoints.put(t, rng.normal(size=6))
+        if t < 3:
+            gradients.put(t, 0, rng.normal(size=6))
+            gradients.put(t, 1, rng.normal(size=6))
+    return TrainingRecord(
+        checkpoints=checkpoints,
+        gradients=gradients,
+        ledger=ledger,
+        client_sizes={0: 10, 1: 20},
+        num_rounds=3,
+        learning_rate=0.1,
+    )
+
+
+class TestTrainingRecord:
+    def test_final_params(self, record):
+        np.testing.assert_array_equal(record.final_params(), record.params_at(3))
+
+    def test_weight_of(self, record):
+        assert record.weight_of(1) == 20.0
+
+    def test_weight_of_unknown_raises(self, record):
+        with pytest.raises(KeyError):
+            record.weight_of(42)
+
+    def test_storage_bytes(self, record):
+        bytes_ = record.storage_bytes()
+        assert bytes_["gradients"] == 6 * 4 * 6  # 6 grads x 6 float32
+        assert bytes_["checkpoints"] == 4 * 6 * 4
+
+    def test_validate_passes(self, record):
+        record.validate()
+
+    def test_validate_catches_missing_checkpoint(self, record):
+        record.checkpoints.prune(keep=[0, 1, 3])
+        with pytest.raises(AssertionError):
+            record.validate()
+
+    def test_validate_catches_gradient_ledger_mismatch(self, record):
+        record.gradients.drop_client(1)
+        with pytest.raises(AssertionError):
+            record.validate()
+
+
+class TestCliMain:
+    def test_storage_experiment_via_cli(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+
+        code = main(["storage", "--scale", "smoke", "--quiet", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "savings" in out
+        assert (tmp_path / "storage.json").exists()
+
+    def test_unknown_experiment_rejected(self):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,175 @@
+"""End-to-end integration tests — the paper's three unlearning scenarios
+(§IV-A) exercised through the real pipeline at smoke scale.
+
+1. a vehicle requests erasure (privacy),
+2. a vehicle drops out / leaves FL,
+3. the server recovers from a poisoning attack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import attack_success_rate
+from repro.eval import build_workload, config_for, train_workload
+from repro.eval.experiments import (
+    run_ablation_sign,
+    run_dynamic_iov,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_storage,
+    run_table1,
+)
+from repro.fl import with_sign_store
+from repro.nn import accuracy
+from repro.unlearning import SignRecoveryUnlearner, backtrack
+
+
+def model_accuracy(workload, params):
+    workload.model.set_flat_params(params)
+    return accuracy(workload.model.predict(workload.test_set.x), workload.test_set.y)
+
+
+class TestScenario1PrivacyErasure:
+    """A benign vehicle wants its updates erased."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = config_for("mnist", "smoke")
+        workload = build_workload(config)
+        record = train_workload(workload)
+        return config, workload, record
+
+    def test_backtracked_model_predates_client(self, setup):
+        config, workload, record = setup
+        params, f = backtrack(record, workload.forget_ids)
+        assert f == config.forget_join_round
+        np.testing.assert_array_equal(params, record.params_at(f))
+
+    def test_recovery_without_any_client(self, setup):
+        config, workload, record = setup
+        sign_record = with_sign_store(record, delta=config.delta)
+        result = SignRecoveryUnlearner(
+            clip_threshold=config.clip_threshold,
+            buffer_size=config.buffer_size,
+            refresh_period=config.refresh_period,
+        ).unlearn(sign_record, workload.forget_ids, workload.model)
+        assert result.client_gradient_calls == 0
+        recovered = model_accuracy(workload, result.params)
+        backtracked = model_accuracy(workload, record.params_at(2))
+        assert recovered > backtracked
+
+    def test_forgotten_gradients_can_be_purged(self, setup):
+        _, workload, record = setup
+        fid = workload.forget_ids[0]
+        # The store drops every record of the forgotten client.
+        removed = record.gradients.drop_client(fid)
+        assert removed > 0
+        assert all(fid not in record.gradients.clients_at(t) for t in record.gradients.rounds())
+        # Re-train the workload cache for other tests (store mutated).
+        workload.record = None
+
+
+class TestScenario2DynamicIoV:
+    def test_dynamic_iov_runner(self):
+        result = run_dynamic_iov(scale="smoke")
+        assert result["client_gradient_calls"] == 0
+        assert result["recovered_accuracy"] > 0.2
+        assert result["dropout_events"] >= 0
+
+    def test_recovery_with_left_vehicles(self):
+        """Vehicles that left FL cannot help; ours must still work."""
+        from repro.fl import ParticipationSchedule
+
+        config = config_for("mnist", "smoke")
+        schedule = ParticipationSchedule.with_events(
+            range(config.num_clients),
+            leaves={0: config.num_rounds // 2, 1: config.num_rounds // 2},
+        )
+        workload = build_workload(config, schedule=schedule)
+        record = train_workload(workload)
+        sign_record = with_sign_store(record, delta=config.delta)
+        result = SignRecoveryUnlearner(clip_threshold=config.clip_threshold).unlearn(
+            sign_record, workload.forget_ids, workload.model
+        )
+        assert result.client_gradient_calls == 0
+        assert np.isfinite(result.params).all()
+
+
+class TestScenario3PoisonRecovery:
+    @pytest.fixture(scope="class")
+    def poisoned(self):
+        config = config_for("mnist", "smoke", attack="backdoor")
+        workload = build_workload(config)
+        record = train_workload(workload)
+        return config, workload, record
+
+    def test_attack_is_effective_before(self, poisoned):
+        config, workload, record = poisoned
+        workload.model.set_flat_params(record.final_params())
+        eval_set = workload.backdoor.trigger_test_set(workload.test_set)
+        asr = attack_success_rate(workload.model, eval_set, config.backdoor_target)
+        assert asr > 0.15
+
+    def test_forgetting_erases_attack(self, poisoned):
+        config, workload, record = poisoned
+        params, _ = backtrack(record, workload.forget_ids)
+        workload.model.set_flat_params(params)
+        eval_set = workload.backdoor.trigger_test_set(workload.test_set)
+        asr = attack_success_rate(workload.model, eval_set, config.backdoor_target)
+        assert asr < 0.25  # at/below chance for 10 classes
+
+    def test_recovery_does_not_reintroduce(self, poisoned):
+        config, workload, record = poisoned
+        sign_record = with_sign_store(record, delta=config.delta)
+        result = SignRecoveryUnlearner(clip_threshold=config.clip_threshold).unlearn(
+            sign_record, workload.forget_ids, workload.model
+        )
+        workload.model.set_flat_params(result.params)
+        eval_set = workload.backdoor.trigger_test_set(workload.test_set)
+        after = attack_success_rate(workload.model, eval_set, config.backdoor_target)
+        workload.model.set_flat_params(record.final_params())
+        before = attack_success_rate(workload.model, eval_set, config.backdoor_target)
+        assert after < before
+
+
+class TestExperimentRunners:
+    """Every table/figure runner executes end-to-end at smoke scale and
+    produces the structure EXPERIMENTS.md consumes."""
+
+    def test_table1(self):
+        result = run_table1(scale="smoke", datasets=("mnist",))
+        assert set(result["measured"]["mnist"]) >= {
+            "retrain", "fedrecover", "fedrecovery", "ours", "trained",
+        }
+        assert result["measured"]["mnist"]["ours_client_calls"] == 0
+        assert result["paper"]["mnist"]["ours"] == 0.859
+
+    def test_fig1(self):
+        result = run_fig1(scale="smoke", attacks=("label_flip",))
+        m = result["measured"]["label_flip"]
+        assert m["asr_before"] > m["asr_after_forget"]
+
+    def test_fig2_shape(self):
+        result = run_fig2(scale="smoke", l_values=(0.01, 1.0, 5.0))
+        accs = [p["accuracy"] for p in result["measured"]]
+        assert len(accs) == 3
+        # Tiny L starves recovery — must be the worst or tied.
+        assert accs[0] <= max(accs)
+
+    def test_fig3_shape(self):
+        result = run_fig3(scale="smoke", delta_values=(1e-6, 0.5))
+        accs = {p["delta"]: p["accuracy"] for p in result["measured"]}
+        zeros = {p["delta"]: p["zero_fraction"] for p in result["measured"]}
+        # Huge delta zeroes far more elements.
+        assert zeros[0.5] > zeros[1e-6]
+
+    def test_storage(self):
+        result = run_storage(scale="smoke")
+        assert result["measured_savings"] > 0.9
+        assert result["sign_gradient_bytes"] < result["full_gradient_bytes"]
+
+    def test_ablation_sign(self):
+        result = run_ablation_sign(scale="smoke")
+        m = result["measured"]
+        assert m["sign_store"]["gradient_bytes"] < m["full_store"]["gradient_bytes"]

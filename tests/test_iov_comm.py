@@ -1,0 +1,66 @@
+"""Tests for the V2I communication model."""
+
+import pytest
+
+from repro.iov import V2iLink, payload_bytes, round_time
+
+
+class TestPayloadBytes:
+    def test_float32(self):
+        assert payload_bytes(1000, "float32") == 4000
+
+    def test_float16(self):
+        assert payload_bytes(1000, "float16") == 2000
+
+    def test_sign2bit(self):
+        assert payload_bytes(1000, "sign2bit") == 250
+
+    def test_rounds_up_to_whole_bytes(self):
+        assert payload_bytes(3, "sign2bit") == 1
+
+    def test_zero_elements(self):
+        assert payload_bytes(0) == 0
+
+    def test_unknown_representation(self):
+        with pytest.raises(ValueError):
+            payload_bytes(10, "zip")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            payload_bytes(-1)
+
+
+class TestV2iLink:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            V2iLink(uplink_bps=0)
+        with pytest.raises(ValueError):
+            V2iLink(rtt_seconds=-1)
+
+
+class TestRoundTime:
+    def test_sign_uplink_much_faster(self):
+        """The codec's 16x byte reduction shows up as round time."""
+        link = V2iLink(uplink_bps=10e6, downlink_bps=50e6, rtt_seconds=0.0)
+        full = round_time(link, 20, 52138, uplink_representation="float32")
+        sign = round_time(link, 20, 52138, uplink_representation="sign2bit")
+        assert sign < full / 8
+
+    def test_more_participants_slower(self):
+        link = V2iLink()
+        assert round_time(link, 50, 10000) > round_time(link, 5, 10000)
+
+    def test_rtt_floor(self):
+        link = V2iLink(rtt_seconds=0.5)
+        assert round_time(link, 1, 1) >= 0.5
+
+    def test_invalid_participants(self):
+        with pytest.raises(ValueError):
+            round_time(V2iLink(), 0, 100)
+
+    def test_downlink_broadcast_independent_of_n(self):
+        """Downlink cost does not scale with participants."""
+        link = V2iLink(uplink_bps=1e12, downlink_bps=50e6, rtt_seconds=0.0)
+        t5 = round_time(link, 5, 100000)
+        t50 = round_time(link, 50, 100000)
+        assert t50 == pytest.approx(t5, rel=1e-2)

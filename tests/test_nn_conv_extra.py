@@ -1,0 +1,95 @@
+"""Additional convolution coverage: stride/padding combinations, batch
+independence, and paper-profile architecture shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import gtsrb_cnn, mnist_cnn
+from repro.nn.layers import Conv2d, MaxPool2d, im2col
+
+
+class TestConvShapes:
+    @pytest.mark.parametrize(
+        "h,k,stride,pad,expected",
+        [
+            (8, 3, 1, 0, 6),
+            (8, 3, 1, 1, 8),
+            (8, 3, 2, 1, 4),
+            (9, 3, 2, 0, 4),
+            (7, 5, 1, 2, 7),
+            (6, 1, 1, 0, 6),
+        ],
+    )
+    def test_output_spatial_size(self, rng, h, k, stride, pad, expected):
+        layer = Conv2d(1, 2, kernel_size=k, rng=rng, stride=stride, padding=pad)
+        out = layer.forward(rng.normal(size=(1, 1, h, h)), training=False)
+        assert out.shape[2] == expected and out.shape[3] == expected
+
+    def test_batch_samples_independent(self, rng):
+        """Each batch element's output depends only on its own input."""
+        layer = Conv2d(2, 3, kernel_size=3, rng=rng, padding=1)
+        x = rng.normal(size=(4, 2, 6, 6))
+        full = layer.forward(x, training=False)
+        for i in range(4):
+            single = layer.forward(x[i : i + 1], training=False)
+            np.testing.assert_allclose(full[i : i + 1], single, atol=1e-12)
+
+    def test_backward_gradients_accumulate_over_batch(self, rng):
+        """Weight gradient of a batch == sum of per-sample gradients."""
+        layer = Conv2d(1, 2, kernel_size=3, rng=rng, padding=1)
+        x = rng.normal(size=(3, 1, 5, 5))
+        dout = rng.normal(size=(3, 2, 5, 5))
+        layer.forward(x, training=True)
+        layer.backward(dout)
+        batch_grad = layer.grad_weight.copy()
+        acc = np.zeros_like(batch_grad)
+        for i in range(3):
+            layer.forward(x[i : i + 1], training=True)
+            layer.backward(dout[i : i + 1])
+            acc += layer.grad_weight
+        np.testing.assert_allclose(batch_grad, acc, atol=1e-10)
+
+    def test_stride_larger_than_kernel(self, rng):
+        layer = Conv2d(1, 1, kernel_size=2, rng=rng, stride=3)
+        out = layer.forward(rng.normal(size=(1, 1, 8, 8)), training=False)
+        assert out.shape == (1, 1, 3, 3)
+
+
+class TestIm2colEdge:
+    def test_single_pixel_kernel(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        col, oh, ow = im2col(x, 1, 1, 1, 0)
+        assert (oh, ow) == (4, 4)
+        assert col.shape == (2 * 16, 3)
+
+    def test_kernel_equals_input(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        col, oh, ow = im2col(x, 5, 5, 1, 0)
+        assert (oh, ow) == (1, 1)
+        np.testing.assert_allclose(col.ravel(), x.reshape(1, -1).ravel())
+
+
+class TestPoolSizes:
+    @pytest.mark.parametrize("pool", [1, 2, 4])
+    def test_pool_sizes(self, rng, pool):
+        layer = MaxPool2d(pool)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = layer.forward(x, training=False)
+        assert out.shape == (2, 3, 8 // pool, 8 // pool)
+
+
+class TestPaperArchitectures:
+    def test_mnist_cnn_paper_profile_size(self):
+        """The paper-profile MNIST CNN is the size the benchmark
+        assumes (storage accounting and hvp micro-benchmarks)."""
+        model = mnist_cnn(np.random.default_rng(0), image_size=28, hidden=64)
+        assert model.num_params == 52138
+
+    def test_gtsrb_cnn_trainable_end_to_end(self, rng):
+        model = gtsrb_cnn(np.random.default_rng(1), image_size=32)
+        x = rng.random((4, 3, 32, 32))
+        y = rng.integers(0, 10, size=4)
+        loss1, grad = model.loss_and_flat_grad(x, y)
+        model.set_flat_params(model.get_flat_params() - 0.01 * grad)
+        loss2, _ = model.loss_and_flat_grad(x, y)
+        assert loss2 < loss1

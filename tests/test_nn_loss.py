@@ -1,0 +1,86 @@
+"""Tests for repro.nn.loss — softmax and fused cross-entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(6, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6))
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_logits_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0], [0.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs[0], [1.0, 0.0], atol=1e-10)
+
+    def test_uniform_logits(self):
+        np.testing.assert_allclose(softmax(np.zeros((1, 4))), np.full((1, 4), 0.25))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = SoftmaxCrossEntropy().forward(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_loss_is_log_classes(self):
+        loss, _ = SoftmaxCrossEntropy().forward(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        _, grad = loss_fn.forward(logits, labels)
+        eps = 1e-7
+        for i in range(4):
+            for j in range(5):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                numeric = (
+                    loss_fn.loss_only(up, labels) - loss_fn.loss_only(down, labels)
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        """softmax-CE gradient rows always sum to 0 (probs sum to 1)."""
+        _, grad = SoftmaxCrossEntropy().forward(
+            rng.normal(size=(6, 4)), rng.integers(0, 4, size=6)
+        )
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(6), atol=1e-12)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_negative_label_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0, -1]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0]))
+
+    def test_non_2d_logits_raise(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros(3), np.array([0]))
+
+    @given(st.integers(2, 8), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_loss_nonnegative(self, classes, batch):
+        rng = np.random.default_rng(classes * 100 + batch)
+        logits = rng.normal(size=(batch, classes)) * 5
+        labels = rng.integers(0, classes, size=batch)
+        loss, _ = SoftmaxCrossEntropy().forward(logits, labels)
+        assert loss >= 0.0

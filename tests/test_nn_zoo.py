@@ -1,0 +1,70 @@
+"""Tests for repro.nn.zoo — the paper's architectures."""
+
+import numpy as np
+import pytest
+
+from repro.nn import gtsrb_cnn, mlp, mnist_cnn, tiny_cnn
+from repro.nn.layers import Conv2d, Dense
+
+
+class TestMnistCnn:
+    def test_paper_architecture(self, rng):
+        """The paper's MNIST model has two conv and two dense layers."""
+        model = mnist_cnn(rng)
+        convs = [l for l in model.layers if isinstance(l, Conv2d)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 2
+        assert len(denses) == 2
+
+    def test_forward_shape(self, rng):
+        model = mnist_cnn(rng, image_size=28)
+        out = model.forward(rng.random((2, 1, 28, 28)), training=False)
+        assert out.shape == (2, 10)
+
+    def test_custom_size(self, rng):
+        model = mnist_cnn(rng, image_size=16, num_classes=4)
+        out = model.forward(rng.random((1, 1, 16, 16)), training=False)
+        assert out.shape == (1, 4)
+
+    def test_deterministic_init(self):
+        a = mnist_cnn(np.random.default_rng(3)).get_flat_params()
+        b = mnist_cnn(np.random.default_rng(3)).get_flat_params()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGtsrbCnn:
+    def test_paper_architecture(self, rng):
+        """The paper's GTSRB model has two conv and one dense layer."""
+        model = gtsrb_cnn(rng)
+        convs = [l for l in model.layers if isinstance(l, Conv2d)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 2
+        assert len(denses) == 1
+
+    def test_forward_shape(self, rng):
+        model = gtsrb_cnn(rng, image_size=32)
+        out = model.forward(rng.random((2, 3, 32, 32)), training=False)
+        assert out.shape == (2, 10)
+
+
+class TestTinyCnn:
+    def test_forward_and_backward(self, rng):
+        model = tiny_cnn(rng)
+        x = rng.random((3, 1, 12, 12))
+        y = rng.integers(0, 4, size=3)
+        loss, grad = model.loss_and_flat_grad(x, y)
+        assert np.isfinite(loss)
+        assert grad.shape == (model.num_params,)
+
+
+class TestMlp:
+    def test_smaller_than_cnn(self, rng):
+        assert (
+            mlp(rng, 400, 10, hidden=32).num_params
+            < mnist_cnn(np.random.default_rng(0), image_size=20).num_params * 10
+        )
+
+    def test_depth(self, rng):
+        deep = mlp(rng, 20, 3, hidden=8, depth=3)
+        shallow = mlp(np.random.default_rng(0), 20, 3, hidden=8, depth=1)
+        assert deep.num_params > shallow.num_params

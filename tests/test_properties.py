@@ -1,0 +1,185 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+These complement the per-module suites with the invariants the design
+depends on:
+
+- codec: ternarize/pack/unpack is an exact round trip and monotone in δ;
+- FedAvg: linearity and weight-scale invariance;
+- backtracking: the unlearned model is a function of pre-F history only;
+- recovery: deterministic, server-only, and parameter-finite for any
+  valid (forget set, hyperparameter) combination;
+- schedules: participants are always a subset of members.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import fedavg, with_sign_store
+from repro.storage import ternarize
+from repro.unlearning import SignRecoveryUnlearner, backtrack
+
+
+class TestCodecProperties:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_set_monotone_in_delta(self, d1, d2):
+        """Larger δ never un-zeroes an element (Fig. 3's mechanism)."""
+        lo, hi = min(d1, d2), max(d1, d2)
+        rng = np.random.default_rng(int(d1 * 1e6) % 2**31)
+        g = rng.normal(size=128)
+        zeros_lo = ternarize(g, lo) == 0
+        zeros_hi = ternarize(g, hi) == 0
+        assert (zeros_hi | ~zeros_lo).all() or (zeros_lo <= zeros_hi).all()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_ternarize_is_odd_function(self, seed):
+        rng = np.random.default_rng(seed)
+        g = rng.normal(size=64)
+        np.testing.assert_array_equal(ternarize(-g, 1e-6), -ternarize(g, 1e-6))
+
+
+class TestFedAvgProperties:
+    @given(st.integers(2, 6), st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, n, scalar):
+        rng = np.random.default_rng(n)
+        grads = [rng.normal(size=8) for _ in range(n)]
+        weights = list(rng.uniform(0.5, 3.0, size=n))
+        scaled = fedavg([scalar * g for g in grads], weights)
+        np.testing.assert_allclose(scaled, scalar * fedavg(grads, weights), rtol=1e-10)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_on_identical_gradients(self, n):
+        rng = np.random.default_rng(n + 100)
+        g = rng.normal(size=8)
+        weights = list(rng.uniform(0.5, 3.0, size=n))
+        np.testing.assert_allclose(fedavg([g] * n, weights), g, rtol=1e-12)
+
+
+class TestBacktrackProperties:
+    def test_unlearned_model_is_pre_join_checkpoint(self, small_fl):
+        """The backtracked parameters existed before the forgotten
+        client contributed anything — checked bit-for-bit."""
+        record = small_fl["record"]
+        params, f = backtrack(record, [small_fl["forget_id"]])
+        np.testing.assert_array_equal(params, record.params_at(f))
+        assert all(
+            not record.gradients.has(t, small_fl["forget_id"]) for t in range(f)
+        )
+
+    def test_forget_set_order_irrelevant(self, small_fl):
+        record = small_fl["record"]
+        a, fa = backtrack(record, [0, small_fl["forget_id"]])
+        b, fb = backtrack(record, [small_fl["forget_id"], 0])
+        assert fa == fb
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRecoveryProperties:
+    @pytest.mark.parametrize("clip", [0.5, 1.0, 5.0])
+    @pytest.mark.parametrize("buffer_size", [1, 3])
+    def test_finite_for_any_hyperparameters(self, small_fl, clip, buffer_size):
+        sign_record = with_sign_store(small_fl["record"])
+        result = SignRecoveryUnlearner(
+            clip_threshold=clip, buffer_size=buffer_size, refresh_period=7
+        ).unlearn(sign_record, [small_fl["forget_id"]], small_fl["model"])
+        assert np.isfinite(result.params).all()
+        assert result.client_gradient_calls == 0
+
+    def test_recovery_only_reads_record(self, small_fl):
+        """Recovery must not mutate the training record."""
+        record = small_fl["record"]
+        sign_record = with_sign_store(record)
+        before_ckpt = record.params_at(10).copy()
+        before_grad = sign_record.gradients.get(10, 0).copy()
+        SignRecoveryUnlearner().unlearn(sign_record, [small_fl["forget_id"]], small_fl["model"])
+        np.testing.assert_array_equal(record.params_at(10), before_ckpt)
+        np.testing.assert_array_equal(sign_record.gradients.get(10, 0), before_grad)
+
+    def test_per_round_step_bounded(self, small_fl):
+        """Each recovery step is bounded by η·L per element (clip + lr)."""
+        record = with_sign_store(small_fl["record"])
+        lr = record.learning_rate
+        clip = 2.0
+        steps = []
+        last = {}
+
+        def cb(t, params):
+            if "prev" in last:
+                steps.append(np.abs(params - last["prev"]).max())
+            last["prev"] = params
+
+        SignRecoveryUnlearner(clip_threshold=clip, round_callback=cb).unlearn(
+            record, [small_fl["forget_id"]], small_fl["model"]
+        )
+        assert max(steps) <= lr * clip + 1e-12
+
+
+class TestScheduleProperties:
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_participants_subset_of_members(self, seed):
+        from repro.fl import ParticipationSchedule
+
+        rng = np.random.default_rng(seed)
+        schedule = ParticipationSchedule.random_dropouts(
+            range(8), rounds=20, dropout_rate=0.3, rng=rng,
+            joins={3: 5}, leaves={6: 10},
+        )
+        for t in range(20):
+            participants = set(schedule.participants_at(t))
+            members = {c for c in schedule.client_ids() if schedule.is_member(c, t)}
+            assert participants <= members
+
+
+class TestAggregatorReplay:
+    """Recovery replays the aggregation rule recorded at training time."""
+
+    def _train(self, aggregator):
+        import numpy as np
+        from repro.datasets import make_synthetic_mnist, partition_iid, train_test_split
+        from repro.fl import FederatedSimulation, VehicleClient
+        from repro.nn import mlp
+        from repro.storage import FullGradientStore
+        from repro.utils.rng import SeedSequenceTree
+
+        tree = SeedSequenceTree(55)
+        data = make_synthetic_mnist(600, tree.rng("data"), image_size=12)
+        train, _ = train_test_split(data, 0.25, tree.rng("split"))
+        from repro.datasets import partition_iid as piid
+
+        shards = piid(train, 5, tree.rng("part"))
+        clients = [
+            VehicleClient(i, shards[i], tree.rng(f"c{i}"), batch_size=32)
+            for i in range(5)
+        ]
+        model = mlp(tree.rng("model"), 144, 10, hidden=16)
+        sim = FederatedSimulation(
+            model, clients, learning_rate=2e-3,
+            gradient_store=FullGradientStore(), aggregator=aggregator,
+        )
+        return sim.run(15), model
+
+    def test_median_record_recovers_finitely(self):
+        record, model = self._train("median")
+        assert record.aggregator == "median"
+        sign_record = with_sign_store(record)
+        result = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [4], model
+        )
+        assert np.isfinite(result.params).all()
+
+    def test_different_rules_give_different_recoveries(self):
+        rec_avg, model = self._train("fedavg")
+        rec_med, _ = self._train("median")
+        a = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            with_sign_store(rec_avg), [4], model
+        )
+        b = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            with_sign_store(rec_med), [4], model
+        )
+        assert not np.allclose(a.params, b.params)

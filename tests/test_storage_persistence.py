@@ -1,0 +1,76 @@
+"""Round-trip tests for TrainingRecord disk persistence."""
+
+import numpy as np
+import pytest
+
+from repro.fl import with_sign_store
+from repro.fl import load_record, save_record
+from repro.unlearning import SignRecoveryUnlearner
+
+
+class TestFullStoreRoundTrip:
+    def test_round_trip_equality(self, small_fl, tmp_path):
+        record = small_fl["record"]
+        save_record(record, str(tmp_path / "rec"))
+        loaded = load_record(str(tmp_path / "rec"))
+        loaded.validate()
+        assert loaded.num_rounds == record.num_rounds
+        assert loaded.learning_rate == record.learning_rate
+        assert loaded.client_sizes == record.client_sizes
+        np.testing.assert_array_equal(loaded.final_params(), record.final_params())
+        t = record.num_rounds // 2
+        for cid in record.gradients.clients_at(t):
+            np.testing.assert_array_equal(
+                loaded.gradients.get(t, cid), record.gradients.get(t, cid)
+            )
+
+    def test_ledger_round_trip(self, small_fl, tmp_path):
+        record = small_fl["record"]
+        save_record(record, str(tmp_path / "rec"))
+        loaded = load_record(str(tmp_path / "rec"))
+        assert loaded.ledger.known_clients() == record.ledger.known_clients()
+        assert loaded.ledger.join_round(5) == record.ledger.join_round(5)
+
+
+class TestSignStoreRoundTrip:
+    def test_round_trip_preserves_directions(self, small_fl, tmp_path):
+        sign_record = with_sign_store(small_fl["record"], delta=1e-6)
+        save_record(sign_record, str(tmp_path / "sign"))
+        loaded = load_record(str(tmp_path / "sign"))
+        loaded.validate()
+        assert loaded.gradients.delta == 1e-6
+        t = sign_record.num_rounds // 2
+        for cid in sign_record.gradients.clients_at(t):
+            np.testing.assert_array_equal(
+                loaded.gradients.get(t, cid), sign_record.gradients.get(t, cid)
+            )
+
+    def test_unlearning_from_loaded_record(self, small_fl, tmp_path):
+        """The whole point: a server restart must not block unlearning."""
+        sign_record = with_sign_store(small_fl["record"], delta=1e-6)
+        save_record(sign_record, str(tmp_path / "sign"))
+        loaded = load_record(str(tmp_path / "sign"))
+        fresh = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            loaded, [5], small_fl["model"]
+        )
+        original = SignRecoveryUnlearner(clip_threshold=5.0).unlearn(
+            sign_record, [5], small_fl["model"]
+        )
+        np.testing.assert_allclose(fresh.params, original.params, atol=1e-5)
+
+
+class TestErrors:
+    def test_unknown_format_version(self, small_fl, tmp_path):
+        from repro.utils.serialization import load_json, save_json
+
+        save_record(small_fl["record"], str(tmp_path / "rec"))
+        manifest_path = tmp_path / "rec" / "manifest.json"
+        manifest = load_json(str(manifest_path))
+        manifest["format_version"] = 99
+        save_json(str(manifest_path), manifest)
+        with pytest.raises(ValueError):
+            load_record(str(tmp_path / "rec"))
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_record(str(tmp_path / "nothing"))

@@ -1,0 +1,134 @@
+"""Tests for the 2-bit ternary sign codec, incl. hypothesis round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    decode_gradient,
+    encode_gradient,
+    pack_signs,
+    packed_size_bytes,
+    storage_savings_ratio,
+    ternarize,
+    unpack_signs,
+)
+
+
+class TestTernarize:
+    def test_paper_definition(self):
+        """>δ -> +1, <-δ -> -1, between -> 0 (§IV)."""
+        g = np.array([0.5, -0.5, 1e-8, -1e-8, 0.0])
+        np.testing.assert_array_equal(ternarize(g, 1e-6), [1, -1, 0, 0, 0])
+
+    def test_boundary_exactly_delta_is_zero(self):
+        np.testing.assert_array_equal(ternarize(np.array([1e-6, -1e-6]), 1e-6), [0, 0])
+
+    def test_zero_delta(self):
+        g = np.array([0.1, -0.1, 0.0])
+        np.testing.assert_array_equal(ternarize(g, 0.0), [1, -1, 0])
+
+    def test_large_delta_zeroes_everything(self):
+        g = np.array([0.5, -0.5])
+        np.testing.assert_array_equal(ternarize(g, 1.0), [0, 0])
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValueError):
+            ternarize(np.zeros(3), -1.0)
+
+    def test_dtype(self):
+        assert ternarize(np.array([1.0]), 0.1).dtype == np.int8
+
+    def test_preserves_shape(self, rng):
+        g = rng.normal(size=(3, 4, 5))
+        assert ternarize(g, 1e-6).shape == (3, 4, 5)
+
+
+class TestPackUnpack:
+    def test_round_trip(self, rng):
+        signs = rng.choice([-1, 0, 1], size=101).astype(np.int8)
+        packed, length = pack_signs(signs)
+        np.testing.assert_array_equal(unpack_signs(packed, length), signs)
+
+    def test_packing_density(self):
+        """4 ternary values per byte."""
+        packed, _ = pack_signs(np.zeros(100, dtype=np.int8))
+        assert packed.nbytes == 25
+
+    def test_padding(self):
+        for n in (1, 2, 3, 4, 5):
+            packed, length = pack_signs(np.ones(n, dtype=np.int8))
+            assert length == n
+            np.testing.assert_array_equal(unpack_signs(packed, n), np.ones(n))
+
+    def test_empty(self):
+        packed, length = pack_signs(np.zeros(0, dtype=np.int8))
+        assert length == 0
+        assert unpack_signs(packed, 0).shape == (0,)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.array([2], dtype=np.int8))
+
+    def test_non_flat_raises(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.zeros((2, 2), dtype=np.int8))
+
+    def test_short_buffer_raises(self):
+        packed, _ = pack_signs(np.zeros(4, dtype=np.int8))
+        with pytest.raises(ValueError):
+            unpack_signs(packed, 100)
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values):
+        signs = np.array(values, dtype=np.int8)
+        packed, length = pack_signs(signs)
+        np.testing.assert_array_equal(unpack_signs(packed, length), signs)
+
+
+class TestEncodeDecode:
+    def test_encode_equals_ternarize_then_pack(self, rng):
+        g = rng.normal(size=57) * 1e-3
+        packed, length = encode_gradient(g, 1e-4)
+        decoded = decode_gradient(packed, length)
+        np.testing.assert_array_equal(decoded, ternarize(g, 1e-4).astype(np.float64))
+
+    def test_decode_is_float(self, rng):
+        packed, length = encode_gradient(rng.normal(size=9), 1e-6)
+        assert decode_gradient(packed, length).dtype == np.float64
+
+    @given(st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_any_length(self, n):
+        rng = np.random.default_rng(n)
+        g = rng.normal(size=n)
+        packed, length = encode_gradient(g, 1e-6)
+        assert length == n
+        decoded = decode_gradient(packed, length)
+        assert set(np.unique(decoded)).issubset({-1.0, 0.0, 1.0})
+
+
+class TestStorageAccounting:
+    def test_packed_size(self):
+        assert packed_size_bytes(0) == 0
+        assert packed_size_bytes(1) == 1
+        assert packed_size_bytes(4) == 1
+        assert packed_size_bytes(5) == 2
+
+    def test_savings_ratio_paper_claim(self):
+        """2 bits vs 32 bits = 93.75% saved — 'approximately 95%'."""
+        ratio = storage_savings_ratio(1_000_000)
+        assert ratio == pytest.approx(0.9375, abs=1e-6)
+
+    def test_savings_vs_float64(self):
+        assert storage_savings_ratio(1000, full_dtype_bytes=8) == pytest.approx(
+            1 - 250 / 8000
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            packed_size_bytes(-1)
+        with pytest.raises(ValueError):
+            storage_savings_ratio(0)

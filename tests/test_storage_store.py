@@ -1,0 +1,154 @@
+"""Tests for gradient/model stores and their byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    FullGradientStore,
+    ModelCheckpointStore,
+    SignGradientStore,
+    make_gradient_store,
+)
+
+
+@pytest.fixture(params=["full", "sign"])
+def store(request):
+    return make_gradient_store(request.param)
+
+
+class TestGradientStoreInterface:
+    def test_put_get_has(self, store, rng):
+        g = rng.normal(size=32)
+        store.put(3, 7, g)
+        assert store.has(3, 7)
+        assert not store.has(3, 8)
+        assert store.get(3, 7).shape == (32,)
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get(0, 0)
+
+    def test_rounds_and_clients(self, store, rng):
+        store.put(1, 5, rng.normal(size=4))
+        store.put(1, 3, rng.normal(size=4))
+        store.put(2, 5, rng.normal(size=4))
+        assert store.rounds() == [1, 2]
+        assert store.clients_at(1) == [3, 5]
+        assert store.clients_at(2) == [5]
+
+    def test_drop_client(self, store, rng):
+        store.put(1, 5, rng.normal(size=4))
+        store.put(2, 5, rng.normal(size=4))
+        store.put(1, 6, rng.normal(size=4))
+        assert store.drop_client(5) == 2
+        assert not store.has(1, 5)
+        assert store.has(1, 6)
+
+    def test_nbytes_grows(self, store, rng):
+        before = store.nbytes()
+        store.put(0, 0, rng.normal(size=1000))
+        assert store.nbytes() > before
+
+    def test_overwrite_same_key(self, store, rng):
+        store.put(0, 0, np.ones(8))
+        store.put(0, 0, -np.ones(8))
+        value = store.get(0, 0)
+        assert (value <= 0).all()
+
+
+class TestFullGradientStore:
+    def test_returns_values_float32_rounded(self, rng):
+        store = FullGradientStore()
+        g = rng.normal(size=16)
+        store.put(0, 0, g)
+        np.testing.assert_allclose(store.get(0, 0), g, atol=1e-6)
+
+    def test_nbytes_is_4_per_element(self):
+        store = FullGradientStore()
+        store.put(0, 0, np.zeros(100))
+        assert store.nbytes() == 400
+
+
+class TestSignGradientStore:
+    def test_returns_directions(self, rng):
+        store = SignGradientStore(delta=1e-6)
+        store.put(0, 0, np.array([0.5, -0.5, 0.0]))
+        np.testing.assert_array_equal(store.get(0, 0), [1.0, -1.0, 0.0])
+
+    def test_delta_thresholding(self):
+        store = SignGradientStore(delta=0.1)
+        store.put(0, 0, np.array([0.05, 0.2, -0.05, -0.2]))
+        np.testing.assert_array_equal(store.get(0, 0), [0.0, 1.0, 0.0, -1.0])
+
+    def test_nbytes_is_quarter_byte_per_element(self):
+        store = SignGradientStore()
+        store.put(0, 0, np.zeros(100))
+        assert store.nbytes() == 25
+
+    def test_storage_savings_vs_full(self, rng):
+        """The headline claim: ~94% fewer bytes than float32 storage."""
+        g = rng.normal(size=10_000)
+        full = FullGradientStore()
+        sign = SignGradientStore()
+        full.put(0, 0, g)
+        sign.put(0, 0, g)
+        savings = 1 - sign.nbytes() / full.nbytes()
+        assert savings > 0.93
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValueError):
+            SignGradientStore(delta=-1.0)
+
+
+class TestMakeGradientStore:
+    def test_kinds(self):
+        assert isinstance(make_gradient_store("full"), FullGradientStore)
+        assert isinstance(make_gradient_store("sign"), SignGradientStore)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_gradient_store("zip")
+
+
+class TestModelCheckpointStore:
+    def test_put_get(self, rng):
+        store = ModelCheckpointStore()
+        w = rng.normal(size=64)
+        store.put(5, w)
+        np.testing.assert_allclose(store.get(5), w, atol=1e-6)
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            ModelCheckpointStore().get(3)
+
+    def test_latest(self, rng):
+        store = ModelCheckpointStore()
+        store.put(1, rng.normal(size=4))
+        w9 = rng.normal(size=4)
+        store.put(9, w9)
+        round_index, params = store.latest()
+        assert round_index == 9
+        np.testing.assert_allclose(params, w9, atol=1e-6)
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(KeyError):
+            ModelCheckpointStore().latest()
+
+    def test_rounds_sorted(self, rng):
+        store = ModelCheckpointStore()
+        for r in (5, 1, 3):
+            store.put(r, rng.normal(size=2))
+        assert store.rounds() == [1, 3, 5]
+
+    def test_prune(self, rng):
+        store = ModelCheckpointStore()
+        for r in range(6):
+            store.put(r, rng.normal(size=2))
+        removed = store.prune(keep=[0, 5])
+        assert removed == 4
+        assert store.rounds() == [0, 5]
+
+    def test_nbytes(self):
+        store = ModelCheckpointStore()
+        store.put(0, np.zeros(10))
+        assert store.nbytes() == 40

@@ -1,0 +1,71 @@
+"""Tests for the high-level UnlearningService façade."""
+
+import numpy as np
+import pytest
+
+from repro.fl import with_sign_store
+from repro.unlearning import UnlearningService
+
+
+@pytest.fixture
+def service(small_fl):
+    # Fresh sign-store view per test (the service purges records).
+    sign_record = with_sign_store(small_fl["record"], delta=1e-6)
+    return UnlearningService(
+        record=sign_record, model=small_fl["model"], clip_threshold=5.0
+    )
+
+
+class TestErasureRequest:
+    def test_erases_and_purges(self, service):
+        outcome = service.handle_erasure_request(5)
+        assert outcome.forgotten == [5]
+        assert outcome.purged_records > 0
+        assert outcome.result.client_gradient_calls == 0
+        assert np.isfinite(outcome.params).all()
+        # The store holds nothing of the client anymore.
+        assert all(
+            5 not in service.record.gradients.clients_at(t)
+            for t in service.record.gradients.rounds()
+        )
+
+    def test_double_erasure_rejected(self, service):
+        service.handle_erasure_request(5)
+        with pytest.raises(ValueError):
+            service.handle_erasure_request(5)
+
+    def test_bookkeeping(self, service):
+        service.handle_erasure_request(5)
+        assert service.erased_clients == [5]
+        assert 5 not in service.active_clients()
+
+    def test_departed_vehicle_same_path(self, service):
+        outcome = service.handle_departed_vehicle(4)
+        assert outcome.forgotten == [4]
+
+
+class TestAttackerScan:
+    def test_clean_record_flags_nothing(self, service):
+        assert service.scan_and_purge_attackers() is None
+
+    def test_storage_bytes_shrink_after_erasure(self, service):
+        before = service.storage_bytes()["gradients"]
+        service.handle_erasure_request(5)
+        assert service.storage_bytes()["gradients"] < before
+
+
+class TestPersistence:
+    def test_persist_and_restore_round_trip(self, service, small_fl, tmp_path):
+        service.handle_erasure_request(5)
+        service.persist(str(tmp_path / "svc"))
+        restored = UnlearningService.restore(
+            str(tmp_path / "svc"), small_fl["model"], clip_threshold=5.0
+        )
+        # The purge survived the round trip.
+        assert all(
+            5 not in restored.record.gradients.clients_at(t)
+            for t in restored.record.gradients.rounds()
+        )
+        # And the restored service can erase someone else.
+        outcome = restored.handle_erasure_request(4)
+        assert np.isfinite(outcome.params).all()

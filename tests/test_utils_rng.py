@@ -1,0 +1,92 @@
+"""Tests for repro.utils.rng — deterministic hierarchical streams."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceTree, new_rng, spawn_rngs, stable_hash
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(7)
+        b = new_rng(7)
+        assert a.random() == b.random()
+
+    def test_different_seed_different_stream(self):
+        assert new_rng(7).random() != new_rng(8).random()
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_children_independent(self):
+        children = spawn_rngs(1, 4)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(9, 3)]
+        b = [g.random() for g in spawn_rngs(9, 3)]
+        assert a == b
+
+
+class TestSeedSequenceTree:
+    def test_same_name_same_stream(self):
+        tree = SeedSequenceTree(5)
+        assert tree.rng("x").random() == tree.rng("x").random()
+
+    def test_different_names_differ(self):
+        tree = SeedSequenceTree(5)
+        assert tree.rng("x").random() != tree.rng("y").random()
+
+    def test_name_isolation_from_other_requests(self):
+        """Requesting extra streams must not perturb existing ones."""
+        t1 = SeedSequenceTree(5)
+        v1 = t1.rng("target").random()
+        t2 = SeedSequenceTree(5)
+        t2.rng("unrelated-a")
+        t2.rng("unrelated-b")
+        assert t2.rng("target").random() == v1
+
+    def test_root_seed_changes_streams(self):
+        assert SeedSequenceTree(1).rng("x").random() != SeedSequenceTree(2).rng("x").random()
+
+    def test_child_tree_deterministic(self):
+        a = SeedSequenceTree(5).child("sub").rng("x").random()
+        b = SeedSequenceTree(5).child("sub").rng("x").random()
+        assert a == b
+
+    def test_child_tree_differs_from_parent(self):
+        tree = SeedSequenceTree(5)
+        assert tree.child("sub").rng("x").random() != tree.rng("x").random()
+
+    def test_integers_helper(self):
+        tree = SeedSequenceTree(5)
+        vals = tree.integers("ints", 0, 10, 100)
+        assert vals.shape == (100,)
+        assert vals.min() >= 0 and vals.max() < 10
+
+    def test_spawn_under_name(self):
+        tree = SeedSequenceTree(5)
+        gens = tree.spawn("workers", 3)
+        assert len(gens) == 3
+        assert len({g.random() for g in gens}) == 3
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(["a", "b"]) == stable_hash(["a", "b"])
+
+    def test_order_sensitive(self):
+        assert stable_hash(["a", "b"]) != stable_hash(["b", "a"])
+
+    def test_empty(self):
+        assert isinstance(stable_hash([]), int)
