@@ -1,12 +1,17 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test bench bench-smoke examples experiments clean
+.PHONY: install test chaos bench bench-smoke examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# Default suite; includes the chaos scenarios with their default seed.
 test:
 	pytest tests/
+
+# Sweep the fault-injection scenarios over several seeds.
+chaos:
+	CHAOS_SEEDS=7,21,99 pytest tests/ -m chaos
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -21,6 +26,7 @@ examples:
 	python examples/detect_and_unlearn.py
 	python examples/unlearning_service.py
 	python examples/dynamic_iov.py
+	python examples/chaos_resilience.py
 
 experiments:
 	python -m repro.eval all --out results/

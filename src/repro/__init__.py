@@ -8,6 +8,7 @@ The package is organized as one subpackage per subsystem:
 - :mod:`repro.attacks` — label-flip and backdoor poisoning
 - :mod:`repro.storage` — the 2-bit sign-direction gradient store
 - :mod:`repro.fl` — vehicles, RSU server, FedAvg, the round loop
+- :mod:`repro.faults` — fault injection, update validation, retries
 - :mod:`repro.iov` — mobility, coverage, join/leave/dropout schedules
 - :mod:`repro.unlearning` — the paper's scheme and all baselines
 - :mod:`repro.eval` — experiment runners for every table and figure
@@ -24,12 +25,13 @@ or from the shell::
 
 __version__ = "1.0.0"
 
-from repro import attacks, datasets, fl, iov, nn, storage, unlearning, utils  # noqa: F401
+from repro import attacks, datasets, faults, fl, iov, nn, storage, unlearning, utils  # noqa: F401
 
 __all__ = [
     "__version__",
     "attacks",
     "datasets",
+    "faults",
     "fl",
     "iov",
     "nn",

@@ -1,0 +1,146 @@
+"""Fault injectors: mangled updates, dying processes, rotting files.
+
+Three failure surfaces are modelled:
+
+- **Update corruption** — :func:`corrupt_update` produces the payloads
+  a buggy or Byzantine vehicle would upload (NaN/Inf elements, wrong
+  shapes, mis-scaled or garbage vectors).
+- **Process failure** — :class:`ClientCrashError` /
+  :class:`TransientClientError` signal a client dying for the round vs.
+  failing retryably; :class:`ServerKilledError` is the simulated
+  power-cut the round journal exists to survive.
+- **Disk corruption** — :func:`truncate_file` and
+  :func:`corrupt_npz_entry` damage persisted records the way a crashed
+  writer or bad sector does, for testing
+  :class:`~repro.fl.persistence.RecordCorruptionError` handling.
+
+Injectors never touch global state: every randomized corruption takes
+an explicit :class:`numpy.random.Generator` (usually
+:meth:`~repro.faults.plan.FaultPlan.corruption_rng`, so the damage is
+reproducible per fault site).
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+
+import numpy as np
+
+__all__ = [
+    "ClientCrashError",
+    "TransientClientError",
+    "ServerKilledError",
+    "corrupt_update",
+    "truncate_file",
+    "corrupt_npz_entry",
+]
+
+
+class ClientCrashError(RuntimeError):
+    """The client died for this round; its update is lost (a dropout)."""
+
+
+class TransientClientError(RuntimeError):
+    """A retryable client failure (flaky compute, momentary disconnect)."""
+
+
+class ServerKilledError(RuntimeError):
+    """The simulated RSU process was killed between rounds.
+
+    Raised by :meth:`repro.fl.simulation.FederatedSimulation.run` after
+    the round's journal commit, so resuming from the journal loses
+    nothing.  Carries the last completed round in ``round_index``.
+    """
+
+    def __init__(self, round_index: int):
+        super().__init__(f"server killed after completing round {round_index}")
+        self.round_index = int(round_index)
+
+
+# ----------------------------------------------------------------------
+# update corruption
+# ----------------------------------------------------------------------
+def corrupt_update(
+    update: np.ndarray, mode: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Return a corrupted copy of ``update`` (the input is not mutated).
+
+    Modes (see :data:`repro.faults.plan.CORRUPTION_MODES`):
+
+    - ``"nan"`` — a random ~10 % of elements become NaN;
+    - ``"inf"`` — a random ~10 % of elements become ±Inf;
+    - ``"shape"`` — the vector is truncated or padded to a wrong length;
+    - ``"scale"`` — the vector is scaled by a huge factor (1e4 … 1e8);
+    - ``"garbage"`` — replaced by heavy-tailed noise of the same shape.
+    """
+    update = np.asarray(update, dtype=np.float64).ravel()
+    n = update.size
+    if n == 0:
+        raise ValueError("cannot corrupt an empty update")
+    if mode == "nan":
+        out = update.copy()
+        idx = rng.random(n) < 0.1
+        if not idx.any():
+            idx[int(rng.integers(n))] = True
+        out[idx] = np.nan
+        return out
+    if mode == "inf":
+        out = update.copy()
+        idx = rng.random(n) < 0.1
+        if not idx.any():
+            idx[int(rng.integers(n))] = True
+        out[idx] = np.where(rng.random(int(idx.sum())) < 0.5, np.inf, -np.inf)
+        return out
+    if mode == "shape":
+        if rng.random() < 0.5 and n > 1:
+            return update[: max(1, n // 2)].copy()
+        return np.concatenate([update, update[: max(1, n // 4)]])
+    if mode == "scale":
+        factor = float(10.0 ** rng.uniform(4.0, 8.0))
+        return update * factor
+    if mode == "garbage":
+        return rng.standard_cauchy(n) * 1e3
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# disk faults
+# ----------------------------------------------------------------------
+def truncate_file(path: str, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to ``keep_fraction`` of its bytes (a torn write).
+
+    Returns the new size in bytes.  ``keep_fraction`` of 0 empties the
+    file, mimicking an ``open()`` that crashed before any data hit disk.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def corrupt_npz_entry(path: str, entry: str, rng: np.random.Generator) -> None:
+    """Flip bytes inside one member of an ``.npz`` archive.
+
+    Rewrites the archive with ``entry``'s compressed payload replaced by
+    random bytes of the same length — the member is still listed but no
+    longer decodes, which is what a bad sector under an intact directory
+    table looks like.
+    """
+    member = entry if entry.endswith(".npy") else entry + ".npy"
+    with zipfile.ZipFile(path, "r") as zf:
+        names = zf.namelist()
+        if member not in names:
+            raise KeyError(f"{path} has no entry {entry!r} (members: {names})")
+        payloads = {name: zf.read(name) for name in names}
+    payloads[member] = rng.integers(0, 256, size=len(payloads[member])).astype(
+        np.uint8
+    ).tobytes()
+    tmp = path + ".tmp"
+    with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as zf:
+        for name, blob in payloads.items():
+            zf.writestr(name, blob)
+    os.replace(tmp, path)

@@ -1,0 +1,232 @@
+"""Deterministic fault schedules for FL simulations.
+
+A :class:`FaultPlan` decides, before the run starts, exactly which
+``(round, client)`` pairs misbehave and how — so a chaos experiment is
+reproducible from its seed, and a simulation resumed from a journal
+sees the *same* faults it would have seen uninterrupted.  Four client
+fault kinds are modelled:
+
+``crash``
+    The vehicle computes its update but the upload is lost (process
+    crash, connection drop).  The server counts a dropout.
+``corrupt``
+    The update arrives mangled: NaN/Inf elements, a wrong shape, a
+    wildly mis-scaled copy, or uniform garbage.  The server-side
+    :class:`~repro.faults.validation.UpdateValidator` must quarantine
+    it.
+``straggle``
+    The upload arrives ``delay_seconds`` late; if that exceeds the
+    round deadline (derived from :func:`repro.iov.comm.round_time` and
+    the plan's :class:`~repro.iov.comm.V2iLink`), the server counts a
+    dropout.
+``flaky``
+    The client's compute fails transiently ``failures`` times before
+    succeeding — the case :class:`~repro.faults.retry.RetryPolicy`
+    exists for.
+
+Server kills are scheduled separately (:attr:`FaultPlan.server_kills`):
+after completing round ``t`` the simulation raises
+:class:`~repro.faults.injection.ServerKilledError`, and a later run can
+resume from the round journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["CORRUPTION_MODES", "ClientFault", "FaultPlan"]
+
+#: Ways a corrupted update can be mangled (see :func:`repro.faults.injection.corrupt_update`).
+CORRUPTION_MODES: Tuple[str, ...] = ("nan", "inf", "shape", "scale", "garbage")
+
+_KINDS = ("crash", "corrupt", "straggle", "flaky")
+
+
+@dataclass(frozen=True)
+class ClientFault:
+    """One scheduled client misbehaviour at a specific ``(round, client)``.
+
+    Attributes
+    ----------
+    kind:
+        ``"crash"``, ``"corrupt"``, ``"straggle"``, or ``"flaky"``.
+    mode:
+        Corruption mode for ``kind == "corrupt"`` (one of
+        :data:`CORRUPTION_MODES`).
+    delay_seconds:
+        Upload lateness for ``kind == "straggle"``.
+    failures:
+        Number of transient compute failures for ``kind == "flaky"``
+        before the attempt succeeds.
+    """
+
+    kind: str
+    mode: Optional[str] = None
+    delay_seconds: float = 0.0
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {_KINDS}")
+        if self.kind == "corrupt" and self.mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"corrupt fault needs a mode from {CORRUPTION_MODES}, got {self.mode!r}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.failures < 0:
+            raise ValueError("failures must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """A full, deterministic fault schedule for one simulation run.
+
+    Attributes
+    ----------
+    client_faults:
+        ``(round, client_id) ->`` the fault injected there.
+    server_kills:
+        Rounds after whose completion the server process "dies"
+        (:class:`~repro.faults.injection.ServerKilledError` is raised
+        once per listed round — after the round's journal commit, so a
+        resume loses nothing).
+    seed:
+        Root seed; corruption randomness is derived per
+        ``(round, client)`` from it, so a resumed run corrupts
+        identically.
+    link:
+        Optional V2I link budget used to derive the straggler deadline.
+    deadline_factor:
+        The deadline is ``deadline_factor ×`` the nominal round time.
+    fallback_deadline:
+        Deadline in seconds when no ``link`` is configured.
+    """
+
+    client_faults: Dict[Tuple[int, int], ClientFault] = field(default_factory=dict)
+    server_kills: Set[int] = field(default_factory=set)
+    seed: int = 0
+    link: Optional[object] = None  # repro.iov.comm.V2iLink (kept lazy, see deadline())
+    deadline_factor: float = 2.0
+    fallback_deadline: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if self.fallback_deadline <= 0:
+            raise ValueError("fallback_deadline must be positive")
+        for (t, cid) in self.client_faults:
+            if t < 0 or cid < 0:
+                raise ValueError(f"negative round/client in fault key ({t}, {cid})")
+        if any(t < 0 for t in self.server_kills):
+            raise ValueError("server kill rounds must be non-negative")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        client_ids: Iterable[int],
+        rounds: int,
+        seed: int,
+        crash_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        straggle_rate: float = 0.0,
+        flaky_rate: float = 0.0,
+        max_transient_failures: int = 2,
+        straggle_delay_scale: float = 1.0,
+        kill_rounds: Iterable[int] = (),
+        link: Optional[object] = None,
+        deadline_factor: float = 2.0,
+        fallback_deadline: float = 5.0,
+    ) -> "FaultPlan":
+        """Draw a fault for each ``(round, client)`` independently.
+
+        Each pair suffers at most one fault; the per-kind rates must sum
+        to at most 1.  Corruption modes are drawn uniformly from
+        :data:`CORRUPTION_MODES`; straggler delays are exponential with
+        scale ``straggle_delay_scale``; flaky clients fail transiently
+        ``1 … max_transient_failures`` times.  Everything is a pure
+        function of ``seed``.
+        """
+        rates = (crash_rate, corrupt_rate, straggle_rate, flaky_rate)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0:
+            raise ValueError(
+                f"fault rates must be non-negative and sum to <= 1, got {rates}"
+            )
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if max_transient_failures < 1:
+            raise ValueError("max_transient_failures must be >= 1")
+        rng = np.random.default_rng(np.random.SeedSequence([int(seed), 0xFA017]))
+        faults: Dict[Tuple[int, int], ClientFault] = {}
+        for t in range(rounds):
+            for cid in sorted(set(int(c) for c in client_ids)):
+                u = float(rng.random())
+                if u < crash_rate:
+                    faults[(t, cid)] = ClientFault("crash")
+                elif u < crash_rate + corrupt_rate:
+                    mode = CORRUPTION_MODES[int(rng.integers(len(CORRUPTION_MODES)))]
+                    faults[(t, cid)] = ClientFault("corrupt", mode=mode)
+                elif u < crash_rate + corrupt_rate + straggle_rate:
+                    delay = float(rng.exponential(straggle_delay_scale))
+                    faults[(t, cid)] = ClientFault("straggle", delay_seconds=delay)
+                elif u < sum(rates):
+                    fails = int(rng.integers(1, max_transient_failures + 1))
+                    faults[(t, cid)] = ClientFault("flaky", failures=fails)
+        return cls(
+            client_faults=faults,
+            server_kills=set(int(t) for t in kill_rounds),
+            seed=int(seed),
+            link=link,
+            deadline_factor=deadline_factor,
+            fallback_deadline=fallback_deadline,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def fault_at(self, round_index: int, client_id: int) -> Optional[ClientFault]:
+        """The fault scheduled for ``(round_index, client_id)``, if any."""
+        return self.client_faults.get((round_index, client_id))
+
+    def kill_after(self, round_index: int) -> bool:
+        """Whether the server dies after completing ``round_index``."""
+        return round_index in self.server_kills
+
+    def corruption_rng(self, round_index: int, client_id: int) -> np.random.Generator:
+        """Deterministic generator for the corruption at one fault site.
+
+        Derived from ``(seed, round, client)`` so a resumed simulation
+        reproduces byte-identical corruption.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([int(self.seed), int(round_index), int(client_id)])
+        )
+
+    def deadline(self, num_participants: int, model_elements: int) -> float:
+        """Seconds a straggler has before its update is written off.
+
+        With a :class:`~repro.iov.comm.V2iLink` configured this is
+        ``deadline_factor ×`` :func:`repro.iov.comm.round_time` for the
+        round's cohort; otherwise :attr:`fallback_deadline`.
+        """
+        if self.link is None:
+            return self.fallback_deadline
+        from repro.iov.comm import round_time
+
+        return self.deadline_factor * round_time(
+            self.link, max(1, num_participants), model_elements
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Scheduled faults per kind (diagnostics / experiment logs)."""
+        out = {kind: 0 for kind in _KINDS}
+        for fault in self.client_faults.values():
+            out[fault.kind] += 1
+        out["server_kill"] = len(self.server_kills)
+        return out

@@ -1,0 +1,122 @@
+"""Retry with capped exponential backoff for transient client failures.
+
+A vehicle whose compute fails momentarily (contention on the OBU, a
+brief V2I outage) should be retried a bounded number of times before
+the round gives up on it — not crash the simulation, and not spin
+forever.  :class:`RetryPolicy` implements the standard capped
+exponential backoff.  Delays are *simulated* by default (accumulated,
+not slept), because simulation time is not wall-clock time; pass a real
+``sleep`` function to use it against live systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.faults.injection import TransientClientError
+
+__all__ = ["RetryPolicy", "RetryOutcome"]
+
+
+@dataclass
+class RetryOutcome:
+    """Result of one retried call: the value plus retry bookkeeping.
+
+    Attributes
+    ----------
+    value:
+        Return value of the successful attempt (``None`` on failure).
+    attempts:
+        Total attempts made (1 means no retry was needed).
+    total_delay:
+        Simulated seconds of backoff spent across retries.
+    succeeded:
+        False when every attempt raised
+        :class:`~repro.faults.injection.TransientClientError`.
+    """
+
+    value: Any
+    attempts: int
+    total_delay: float
+    succeeded: bool
+
+
+class RetryPolicy:
+    """Capped exponential backoff for transient failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts before giving up (>= 1; 1 disables retries).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    max_delay:
+        Cap on any single backoff interval.
+    backoff_factor:
+        Multiplier applied to the delay after each failed attempt.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.1,
+        max_delay: float = 2.0,
+        backoff_factor: float = 2.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if max_delay < base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.backoff_factor = backoff_factor
+
+    def delays(self) -> List[float]:
+        """The backoff schedule: one delay per possible retry."""
+        out: List[float] = []
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            out.append(min(delay, self.max_delay))
+            delay *= self.backoff_factor
+        return out
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> RetryOutcome:
+        """Run ``fn`` with retries on ``TransientClientError``.
+
+        Any other exception propagates immediately (it is not
+        transient).  With ``sleep=None`` backoff is only accounted, not
+        actually waited for.
+        """
+        schedule = self.delays()
+        total_delay = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return RetryOutcome(
+                    value=fn(),
+                    attempts=attempt,
+                    total_delay=total_delay,
+                    succeeded=True,
+                )
+            except TransientClientError:
+                if attempt == self.max_attempts:
+                    return RetryOutcome(
+                        value=None,
+                        attempts=attempt,
+                        total_delay=total_delay,
+                        succeeded=False,
+                    )
+                delay = schedule[attempt - 1]
+                total_delay += delay
+                if sleep is not None:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

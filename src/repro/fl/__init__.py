@@ -6,8 +6,9 @@ from repro.fl.aggregation import AGGREGATORS, coordinate_median, fedavg, trimmed
 from repro.fl.client import VehicleClient
 from repro.fl.events import ParticipationSchedule
 from repro.fl.history import TrainingRecord, with_sign_store
+from repro.fl.journal import JournalSnapshot, RoundJournal
 from repro.fl.membership import ClientRecord, MembershipLedger
-from repro.fl.persistence import load_record, save_record
+from repro.fl.persistence import RecordCorruptionError, load_record, save_record
 from repro.fl.rsa import RsaConfig, RsaResult, RsaTrainer
 from repro.fl.server import RsuServer
 from repro.fl.simulation import FederatedSimulation
@@ -16,8 +17,11 @@ __all__ = [
     "AGGREGATORS",
     "ClientRecord",
     "FederatedSimulation",
+    "JournalSnapshot",
     "MembershipLedger",
     "ParticipationSchedule",
+    "RecordCorruptionError",
+    "RoundJournal",
     "RsaConfig",
     "RsaResult",
     "RsaTrainer",

@@ -1,0 +1,202 @@
+"""Write-ahead round journal — crash-safe FL simulation state.
+
+An RSU process can die between any two rounds (power cut, OOM kill,
+deploy).  Without a journal the whole training run — and with it the
+history unlearning depends on — is gone.  :class:`RoundJournal` fixes
+that: after every completed round the simulation commits a full
+snapshot of its state (global params, every checkpoint, every stored
+gradient payload, the membership ledger, client RNG states, validator
+history, accuracy trace) as a single ``journal.npz`` written atomically
+(tmp + ``os.replace``).  A killed simulation re-run with the same
+configuration and journal directory resumes from the last completed
+round and produces a :class:`~repro.fl.history.TrainingRecord` that is
+bitwise identical to an uninterrupted run — the crash/resume
+equivalence the chaos tests assert.
+
+The snapshot includes client RNG states because minibatch sampling is
+the only client-side randomness: restoring the generators is what makes
+the resumed rounds draw the exact batches the lost process would have.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fl.membership import MembershipLedger
+from repro.fl.persistence import (
+    RecordCorruptionError,
+    store_from_arrays,
+    store_to_arrays,
+)
+from repro.storage.store import GradientStore, ModelCheckpointStore
+from repro.utils.serialization import load_state, save_state_atomic
+
+__all__ = ["RoundJournal", "JournalSnapshot"]
+
+_JOURNAL = "journal.npz"
+_FORMAT = 1
+
+
+@dataclass
+class JournalSnapshot:
+    """Everything needed to resume a simulation after round ``round_index``.
+
+    Attributes mirror the live state of
+    :class:`~repro.fl.simulation.FederatedSimulation` and its server;
+    see that class for semantics.  ``rng_states`` maps client id to the
+    client generator's ``bit_generator.state`` dict; ``validator_norms``
+    is ``None`` when no validator is configured.
+    """
+
+    round_index: int
+    params: np.ndarray
+    checkpoints: ModelCheckpointStore
+    gradients: GradientStore
+    ledger: MembershipLedger
+    client_sizes: Dict[int, int]
+    registered: List[int]
+    left: List[int]
+    accuracy_history: List[float]
+    rng_states: Dict[int, dict]
+    quarantine: List[Tuple[int, int, str]] = field(default_factory=list)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    validator_norms: Optional[List[float]] = None
+
+
+class RoundJournal:
+    """Atomic per-round snapshots of a running FL simulation.
+
+    Parameters
+    ----------
+    directory:
+        Where ``journal.npz`` lives; created on first commit.  One
+        journal belongs to one logical training run — reusing a
+        directory across differently-configured runs is an error the
+        caller must avoid (the resume would silently diverge).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    @property
+    def path(self) -> str:
+        """Full path of the snapshot file."""
+        return os.path.join(self.directory, _JOURNAL)
+
+    def exists(self) -> bool:
+        """Whether a committed snapshot is present."""
+        return os.path.exists(self.path)
+
+    def clear(self) -> None:
+        """Delete the snapshot (a completed run no longer needs it)."""
+        if self.exists():
+            os.remove(self.path)
+
+    # ------------------------------------------------------------------
+    def commit(self, snapshot: JournalSnapshot) -> None:
+        """Atomically persist ``snapshot`` as the new journal head."""
+        kind, gradient_arrays, lengths, delta = store_to_arrays(snapshot.gradients)
+        arrays: Dict[str, np.ndarray] = {
+            "params": np.asarray(snapshot.params, dtype=np.float64)
+        }
+        for t in snapshot.checkpoints.rounds():
+            arrays[f"w_{t}"] = snapshot.checkpoints.get(t).astype(np.float32)
+        arrays.update(gradient_arrays)
+        meta: Dict[str, Any] = {
+            "format_version": _FORMAT,
+            "round_index": snapshot.round_index,
+            "store_kind": kind,
+            "sign_delta": delta,
+            "sign_lengths": lengths,
+            "client_sizes": {str(c): n for c, n in snapshot.client_sizes.items()},
+            "ledger": snapshot.ledger.to_dict(),
+            "registered": sorted(snapshot.registered),
+            "left": sorted(snapshot.left),
+            "accuracy_history": list(snapshot.accuracy_history),
+            "rng_states": {str(c): s for c, s in snapshot.rng_states.items()},
+            "quarantine": [[t, c, r] for t, c, r in snapshot.quarantine],
+            "fault_stats": dict(snapshot.fault_stats),
+            "validator_norms": snapshot.validator_norms,
+        }
+        save_state_atomic(self.path, arrays, meta)
+
+    def load(self) -> JournalSnapshot:
+        """Load the last committed snapshot.
+
+        Raises ``FileNotFoundError`` when no snapshot exists and
+        :class:`~repro.fl.persistence.RecordCorruptionError` when the
+        file is present but damaged (torn write, bad sector).
+        """
+        if not self.exists():
+            raise FileNotFoundError(f"no journal at {self.path}")
+        try:
+            arrays, meta = load_state(self.path)
+        except Exception as exc:  # np.load failure modes vary by damage
+            raise RecordCorruptionError(
+                f"{_JOURNAL}: cannot decode ({exc})"
+            ) from exc
+        missing = [
+            k
+            for k in ("format_version", "round_index", "store_kind", "ledger")
+            if k not in meta
+        ]
+        if missing:
+            raise RecordCorruptionError(f"{_JOURNAL}: missing keys {missing}")
+        if meta["format_version"] != _FORMAT:
+            raise RecordCorruptionError(
+                f"{_JOURNAL}: unsupported format {meta['format_version']!r}"
+            )
+        if "params" not in arrays:
+            raise RecordCorruptionError(f"{_JOURNAL}: missing params array")
+
+        round_index = int(meta["round_index"])
+        checkpoints = ModelCheckpointStore()
+        gradient_arrays: Dict[str, np.ndarray] = {}
+        for name, value in arrays.items():
+            if name == "params":
+                continue
+            if name.startswith("w_"):
+                suffix = name[2:]
+                if not suffix.isdigit():
+                    raise RecordCorruptionError(
+                        f"{_JOURNAL}: malformed checkpoint name {name!r}"
+                    )
+                checkpoints.put(int(suffix), value)
+            elif name.startswith("g_"):
+                gradient_arrays[name] = value
+            else:
+                raise RecordCorruptionError(f"{_JOURNAL}: unexpected array {name!r}")
+        for t in range(round_index + 1):
+            if not checkpoints.has(t):
+                raise RecordCorruptionError(
+                    f"{_JOURNAL}: missing checkpoint w_{t} for committed round "
+                    f"{round_index}"
+                )
+        gradients = store_from_arrays(
+            meta["store_kind"],
+            gradient_arrays,
+            meta.get("sign_lengths", {}),
+            meta.get("sign_delta"),
+            source=_JOURNAL,
+        )
+        return JournalSnapshot(
+            round_index=round_index,
+            params=np.asarray(arrays["params"], dtype=np.float64),
+            checkpoints=checkpoints,
+            gradients=gradients,
+            ledger=MembershipLedger.from_dict(meta["ledger"]),
+            client_sizes={int(c): int(n) for c, n in meta["client_sizes"].items()},
+            registered=[int(c) for c in meta["registered"]],
+            left=[int(c) for c in meta["left"]],
+            accuracy_history=[float(a) for a in meta["accuracy_history"]],
+            rng_states={int(c): s for c, s in meta["rng_states"].items()},
+            quarantine=[
+                (int(t), int(c), str(r)) for t, c, r in meta.get("quarantine", [])
+            ],
+            fault_stats={str(k): int(v) for k, v in meta.get("fault_stats", {}).items()},
+            validator_norms=meta.get("validator_norms"),
+        )

@@ -18,7 +18,7 @@ Rounds are 0-based throughout the codebase: round ``t`` updates
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = ["MembershipLedger", "ClientRecord"]
 
@@ -89,6 +89,39 @@ class MembershipLedger:
     def known_clients(self) -> List[int]:
         """All client ids ever seen, sorted."""
         return sorted(self._records)
+
+    def items(self) -> List[Tuple[int, ClientRecord]]:
+        """``(client_id, ClientRecord)`` pairs, sorted by client id.
+
+        The public iteration surface for serializers (persistence, the
+        round journal); records are the live objects, treat them as
+        read-only.
+        """
+        return sorted(self._records.items())
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """JSON-ready ``{client_id: {join, leave, dropouts}}`` mapping."""
+        return {
+            str(cid): {
+                "join_round": rec.join_round,
+                "leave_round": rec.leave_round,
+                "dropout_rounds": sorted(rec.dropout_rounds),
+            }
+            for cid, rec in self.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict]) -> "MembershipLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        ledger = cls()
+        for cid_str, rec in sorted(data.items(), key=lambda kv: int(kv[0])):
+            cid = int(cid_str)
+            ledger.join(cid, int(rec["join_round"]))
+            if rec["leave_round"] is not None:
+                ledger.leave(cid, int(rec["leave_round"]))
+            for t in rec["dropout_rounds"]:
+                ledger.record_dropout(cid, int(t))
+        return ledger
 
     def join_round(self, client_id: int) -> int:
         """The round ``F`` at which the client first participated."""

@@ -8,10 +8,11 @@ stored updates (sign directions under the paper's scheme).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.validation import QuarantineEvent, UpdateValidator
 from repro.fl.aggregation import AGGREGATORS
 from repro.fl.membership import MembershipLedger
 from repro.storage.store import (
@@ -19,8 +20,11 @@ from repro.storage.store import (
     ModelCheckpointStore,
     make_gradient_store,
 )
+from repro.utils.logging import get_logger
 
 __all__ = ["RsuServer"]
+
+_log = get_logger("fl.server")
 
 
 class RsuServer:
@@ -38,6 +42,14 @@ class RsuServer:
         ``delta=1e-6``.
     aggregator:
         Aggregation rule name (see :data:`repro.fl.aggregation.AGGREGATORS`).
+    validator:
+        Optional :class:`~repro.faults.validation.UpdateValidator`.
+        When set, every incoming update passes the quarantine gate
+        before it can touch the gradient store or the aggregate:
+        NaN/Inf, mis-shaped, or out-of-norm updates are rejected, the
+        client is recorded as a dropout for the round, and a
+        :class:`~repro.faults.validation.QuarantineEvent` is appended
+        to :attr:`quarantine`.
     """
 
     def __init__(
@@ -46,6 +58,7 @@ class RsuServer:
         learning_rate: float,
         gradient_store: Optional[GradientStore] = None,
         aggregator: str = "fedavg",
+        validator: Optional[UpdateValidator] = None,
     ):
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
@@ -62,6 +75,8 @@ class RsuServer:
         self.gradients = gradient_store or make_gradient_store("sign")
         self.ledger = MembershipLedger()
         self.client_sizes: Dict[int, int] = {}
+        self.validator = validator
+        self.quarantine: List[QuarantineEvent] = []
         self.checkpoints.put(0, self.params)
 
     # ------------------------------------------------------------------
@@ -103,16 +118,47 @@ class RsuServer:
         aggregation — the store is what compresses (the server never
         keeps the raw gradients beyond this call, which is the storage
         model of §IV).  Returns the new global parameters.
+
+        With a validator configured, updates that fail the gate are
+        quarantined instead: never stored, never aggregated, and the
+        client is logged as a dropout for the round.  A round in which
+        *every* update is quarantined degrades to a skip — the model is
+        unchanged and the round counter still advances, so one burst of
+        garbage cannot crash training.
         """
         if not updates:
             raise ValueError(f"round {self.round_index}: no client updates")
         t = self.round_index
-        for client_id, gradient in updates.items():
+        for client_id in updates:
             if client_id not in self.client_sizes:
                 raise KeyError(f"update from unregistered client {client_id}")
+        if self.validator is not None:
+            verdicts = self.validator.check_round(
+                updates, expected_dim=self.params.size
+            )
+        else:
+            verdicts = None
+        accepted: Dict[int, np.ndarray] = {}
+        for client_id in sorted(updates):
+            if verdicts is not None and not verdicts[client_id].ok:
+                self.quarantine.append(
+                    QuarantineEvent(t, client_id, verdicts[client_id].reason)
+                )
+                self.ledger.record_dropout(client_id, t)
+                _log.warning(
+                    "round %d: quarantined update from client %d (%s)",
+                    t,
+                    client_id,
+                    verdicts[client_id].reason,
+                )
+                continue
+            accepted[client_id] = updates[client_id]
+        if not accepted:
+            return self.skip_round()
+        for client_id, gradient in accepted.items():
             self.gradients.put(t, client_id, gradient)
-        ordered = sorted(updates)
-        gradients = [updates[cid] for cid in ordered]
+        ordered = sorted(accepted)
+        gradients = [accepted[cid] for cid in ordered]
         weights = [self.client_sizes[cid] for cid in ordered]
         aggregated = self._aggregate(gradients, weights)
         self.params = self.params - self.learning_rate * aggregated

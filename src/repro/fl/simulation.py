@@ -8,6 +8,24 @@ consume.
 One scratch model instance is shared by all clients (each sets the
 global parameters before its gradient pass), so memory stays flat in
 the number of vehicles.
+
+The loop is resilient by construction (the IoV premise is that things
+fail *constantly*):
+
+- a :class:`~repro.faults.plan.FaultPlan` injects client crashes,
+  corrupted updates, stragglers, flaky computes and server kills,
+  deterministically per seed;
+- transient client failures are retried through a
+  :class:`~repro.faults.retry.RetryPolicy` with capped exponential
+  backoff; clients that crash, straggle past the V2I deadline, or
+  exhaust their retries are recorded as dropouts, never exceptions;
+- corrupted updates are quarantined by the server's
+  :class:`~repro.faults.validation.UpdateValidator` gate before they
+  can touch aggregation or the gradient store;
+- with a :class:`~repro.fl.journal.RoundJournal`, every completed round
+  commits an atomic snapshot, so a killed process resumes exactly where
+  it died and the final record is bitwise identical to an uninterrupted
+  run.
 """
 
 from __future__ import annotations
@@ -17,9 +35,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.datasets.base import ArrayDataset
+from repro.faults.injection import (
+    ClientCrashError,
+    ServerKilledError,
+    TransientClientError,
+    corrupt_update,
+)
+from repro.faults.plan import ClientFault, FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.faults.validation import QuarantineEvent, UpdateValidator
 from repro.fl.client import VehicleClient
 from repro.fl.events import ParticipationSchedule
 from repro.fl.history import TrainingRecord
+from repro.fl.journal import JournalSnapshot, RoundJournal
 from repro.fl.server import RsuServer
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
@@ -29,6 +57,15 @@ from repro.utils.logging import get_logger
 __all__ = ["FederatedSimulation"]
 
 _log = get_logger("fl.simulation")
+
+_FAULT_STAT_KEYS = (
+    "crashes",
+    "corrupted",
+    "stragglers_dropped",
+    "stragglers_met",
+    "retries",
+    "gave_up",
+)
 
 
 class FederatedSimulation:
@@ -53,6 +90,17 @@ class FederatedSimulation:
     test_set:
         Optional held-out set; when given, test accuracy is recorded
         every ``eval_every`` rounds into the training record.
+    fault_plan:
+        Optional fault schedule (chaos experiments).  When set and no
+        ``validator`` is given, a default
+        :class:`~repro.faults.validation.UpdateValidator` is installed
+        so injected corruption cannot reach aggregation.
+    retry_policy:
+        Backoff policy for transient client failures; defaults to a
+        single attempt (no retries).
+    validator:
+        Update-validation gate handed to the server; see
+        :class:`~repro.fl.server.RsuServer`.
     """
 
     def __init__(
@@ -65,6 +113,9 @@ class FederatedSimulation:
         aggregator: str = "fedavg",
         test_set: Optional[ArrayDataset] = None,
         eval_every: int = 10,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        validator: Optional[UpdateValidator] = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -77,16 +128,22 @@ class FederatedSimulation:
         unknown = set(self.schedule.client_ids()) - set(ids)
         if unknown:
             raise ValueError(f"schedule references unknown clients {sorted(unknown)}")
+        if fault_plan is not None and validator is None:
+            validator = UpdateValidator()
         self.server = RsuServer(
             initial_params=model.get_flat_params(),
             learning_rate=learning_rate,
             gradient_store=gradient_store,
             aggregator=aggregator,
+            validator=validator,
         )
         self.test_set = test_set
         if eval_every <= 0:
             raise ValueError("eval_every must be positive")
         self.eval_every = eval_every
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
+        self.fault_stats: Dict[str, int] = {k: 0 for k in _FAULT_STAT_KEYS}
         self._registered: set = set()
         self._left: set = set()
 
@@ -118,29 +175,180 @@ class FederatedSimulation:
                     participants.append(cid)
         return participants
 
+    # ------------------------------------------------------------------
+    # fault-aware client compute
+    # ------------------------------------------------------------------
+    def _compute_update(
+        self,
+        cid: int,
+        round_index: int,
+        global_params: np.ndarray,
+        fault: Optional[ClientFault],
+    ) -> np.ndarray:
+        """One client's update for the round, faults applied.
+
+        Raises :class:`~repro.faults.injection.ClientCrashError` when
+        the update is lost (crash, missed deadline, retries exhausted);
+        the caller records the dropout.  Flaky faults raise transiently
+        before the gradient pass, so the client's RNG stream is only
+        consumed by the attempt that succeeds — a resumed run therefore
+        draws identical minibatches.
+        """
+        client = self.clients[cid]
+        failures_left = [fault.failures if fault and fault.kind == "flaky" else 0]
+
+        def attempt() -> np.ndarray:
+            if failures_left[0] > 0:
+                failures_left[0] -= 1
+                raise TransientClientError(
+                    f"client {cid} transient failure at round {round_index}"
+                )
+            return client.compute_update(global_params, self.model)
+
+        outcome = self.retry_policy.call(attempt)
+        self.fault_stats["retries"] += outcome.attempts - 1
+        if not outcome.succeeded:
+            self.fault_stats["gave_up"] += 1
+            raise ClientCrashError(
+                f"client {cid} failed all {outcome.attempts} attempts at round "
+                f"{round_index}"
+            )
+        update = outcome.value
+        if fault is None or fault.kind == "flaky":
+            return update
+        if fault.kind == "crash":
+            self.fault_stats["crashes"] += 1
+            raise ClientCrashError(f"client {cid} crashed at round {round_index}")
+        if fault.kind == "straggle":
+            assert self.fault_plan is not None
+            deadline = self.fault_plan.deadline(
+                max(1, len(self.server.ledger.members_at(round_index))),
+                self.model.num_params,
+            )
+            if fault.delay_seconds > deadline:
+                self.fault_stats["stragglers_dropped"] += 1
+                raise ClientCrashError(
+                    f"client {cid} straggled {fault.delay_seconds:.2f}s past the "
+                    f"{deadline:.2f}s deadline at round {round_index}"
+                )
+            self.fault_stats["stragglers_met"] += 1
+            return update
+        if fault.kind == "corrupt":
+            self.fault_stats["corrupted"] += 1
+            assert self.fault_plan is not None and fault.mode is not None
+            return corrupt_update(
+                update, fault.mode, self.fault_plan.corruption_rng(round_index, cid)
+            )
+        raise AssertionError(f"unhandled fault kind {fault.kind}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # journal plumbing
+    # ------------------------------------------------------------------
+    def _snapshot(self, accuracy_history: List[float]) -> JournalSnapshot:
+        """Capture the complete post-round state for the journal."""
+        validator = self.server.validator
+        return JournalSnapshot(
+            round_index=self.server.round_index,
+            params=self.server.params,
+            checkpoints=self.server.checkpoints,
+            gradients=self.server.gradients,
+            ledger=self.server.ledger,
+            client_sizes=dict(self.server.client_sizes),
+            registered=sorted(self._registered),
+            left=sorted(self._left),
+            accuracy_history=list(accuracy_history),
+            rng_states={
+                cid: c.rng.bit_generator.state for cid, c in self.clients.items()
+            },
+            quarantine=[
+                (e.round_index, e.client_id, e.reason) for e in self.server.quarantine
+            ],
+            fault_stats=dict(self.fault_stats),
+            validator_norms=(
+                validator.observed_norms() if validator is not None else None
+            ),
+        )
+
+    def _restore(self, snapshot: JournalSnapshot) -> int:
+        """Reinstate a journaled state; returns the round to resume at."""
+        server = self.server
+        if type(server.gradients) is not type(snapshot.gradients):
+            raise ValueError(
+                f"journal holds a {type(snapshot.gradients).__name__} but the "
+                f"simulation was configured with a "
+                f"{type(server.gradients).__name__}"
+            )
+        server.params = np.asarray(snapshot.params, dtype=np.float64).copy()
+        server.round_index = snapshot.round_index
+        server.checkpoints = snapshot.checkpoints
+        server.gradients = snapshot.gradients
+        server.ledger = snapshot.ledger
+        server.client_sizes = dict(snapshot.client_sizes)
+        server.quarantine = [QuarantineEvent(*e) for e in snapshot.quarantine]
+        self._registered = set(snapshot.registered)
+        self._left = set(snapshot.left)
+        for key in _FAULT_STAT_KEYS:
+            self.fault_stats[key] = snapshot.fault_stats.get(key, 0)
+        unknown = set(snapshot.rng_states) - set(self.clients)
+        if unknown:
+            raise ValueError(f"journal references unknown clients {sorted(unknown)}")
+        for cid, state in snapshot.rng_states.items():
+            self.clients[cid].rng.bit_generator.state = state
+        if server.validator is not None and snapshot.validator_norms is not None:
+            server.validator.restore_norms(snapshot.validator_norms)
+        _log.info("resumed from journal at round %d", snapshot.round_index)
+        return snapshot.round_index
+
+    # ------------------------------------------------------------------
     def run(
         self,
         num_rounds: int,
         round_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+        journal: Optional[RoundJournal] = None,
     ) -> TrainingRecord:
-        """Execute ``num_rounds`` and return the training record."""
+        """Execute ``num_rounds`` and return the training record.
+
+        With ``journal`` given, each completed round commits an atomic
+        state snapshot; if the journal already holds one (a previous
+        process died), the run resumes after its last committed round
+        instead of starting over.  A scheduled server kill raises
+        :class:`~repro.faults.injection.ServerKilledError` *after* the
+        round's commit, so nothing is lost.
+        """
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         accuracy_history: List[float] = []
-        for t in range(num_rounds):
+        start_round = 0
+        if journal is not None and journal.exists():
+            snapshot = journal.load()
+            if snapshot.round_index > num_rounds:
+                raise ValueError(
+                    f"journal is at round {snapshot.round_index}, beyond the "
+                    f"requested {num_rounds}"
+                )
+            start_round = self._restore(snapshot)
+            accuracy_history = list(snapshot.accuracy_history)
+        for t in range(start_round, num_rounds):
             participants = self._sync_membership(t)
-            if not participants:
-                # Sparse IoV rounds with no connected vehicle: the RSU idles.
-                _log.debug("round %d: no participants, skipping", t)
-                new_params = self.server.skip_round()
-            else:
-                updates: Dict[int, np.ndarray] = {}
-                global_params = self.server.params
-                for cid in participants:
-                    updates[cid] = self.clients[cid].compute_update(
-                        global_params, self.model
-                    )
+            updates: Dict[int, np.ndarray] = {}
+            global_params = self.server.params
+            for cid in participants:
+                fault = (
+                    self.fault_plan.fault_at(t, cid)
+                    if self.fault_plan is not None
+                    else None
+                )
+                try:
+                    updates[cid] = self._compute_update(cid, t, global_params, fault)
+                except ClientCrashError as exc:
+                    _log.debug("round %d: %s", t, exc)
+                    self.server.client_dropped_out(cid, t)
+            if updates:
                 new_params = self.server.run_round(updates)
+            else:
+                # Sparse IoV rounds with no surviving update: the RSU idles.
+                _log.debug("round %d: no usable updates, skipping", t)
+                new_params = self.server.skip_round()
             if self.test_set is not None and (
                 (t + 1) % self.eval_every == 0 or t + 1 == num_rounds
             ):
@@ -150,6 +358,10 @@ class FederatedSimulation:
                 _log.info("round %d/%d test accuracy %.4f", t + 1, num_rounds, acc)
             if round_callback is not None:
                 round_callback(t, new_params)
+            if journal is not None:
+                journal.commit(self._snapshot(accuracy_history))
+            if self.fault_plan is not None and self.fault_plan.kill_after(t):
+                raise ServerKilledError(t)
         return TrainingRecord(
             checkpoints=self.server.checkpoints,
             gradients=self.server.gradients,

@@ -18,7 +18,11 @@ from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from repro.storage.sign_codec import decode_gradient, encode_gradient
+from repro.storage.sign_codec import (
+    decode_gradient,
+    encode_gradient,
+    packed_size_bytes,
+)
 
 __all__ = [
     "GradientStore",
@@ -54,6 +58,17 @@ class GradientStore:
 
     def clients_at(self, round_index: int) -> List[int]:
         """Sorted client ids recorded at ``round_index``."""
+        raise NotImplementedError
+
+    def items(self) -> List[Tuple[Tuple[int, int], object]]:
+        """All records as ``((round, client_id), payload)`` pairs, sorted.
+
+        The payload is backend-native — the float32 gradient for a full
+        store, the ``(packed, length)`` tuple for a sign store — which
+        is what persistence and the round journal need to serialize a
+        store without reaching into its internals.  Payloads are the
+        stored objects; treat them as read-only.
+        """
         raise NotImplementedError
 
     def nbytes(self) -> int:
@@ -95,6 +110,10 @@ class FullGradientStore(GradientStore):
     def clients_at(self, round_index: int) -> List[int]:
         return sorted(c for r, c in self._records if r == round_index)
 
+    def items(self) -> List[Tuple[Tuple[int, int], np.ndarray]]:
+        """Sorted ``((round, client), float32 gradient)`` pairs."""
+        return sorted(self._records.items())
+
     def nbytes(self) -> int:
         return int(sum(g.nbytes for g in self._records.values()))
 
@@ -125,6 +144,25 @@ class SignGradientStore(GradientStore):
         packed, length = encode_gradient(np.asarray(gradient).ravel(), self.delta)
         self._records[(round_index, client_id)] = (packed, length)
 
+    def put_encoded(
+        self, round_index: int, client_id: int, packed: np.ndarray, length: int
+    ) -> None:
+        """Insert an already-encoded ``(packed, length)`` payload verbatim.
+
+        Used when deserializing a persisted record: re-encoding a
+        decoded direction through :meth:`put` would re-threshold against
+        ``delta`` and is needlessly lossy for ``delta >= 1``.
+        """
+        packed = np.asarray(packed, dtype=np.uint8)
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if packed.size != packed_size_bytes(length):
+            raise ValueError(
+                f"packed payload of {packed.size} bytes cannot hold {length} "
+                "2-bit elements"
+            )
+        self._records[(round_index, client_id)] = (packed.copy(), int(length))
+
     def get(self, round_index: int, client_id: int) -> np.ndarray:
         key = (round_index, client_id)
         if key not in self._records:
@@ -140,6 +178,10 @@ class SignGradientStore(GradientStore):
 
     def clients_at(self, round_index: int) -> List[int]:
         return sorted(c for r, c in self._records if r == round_index)
+
+    def items(self) -> List[Tuple[Tuple[int, int], Tuple[np.ndarray, int]]]:
+        """Sorted ``((round, client), (packed, length))`` pairs."""
+        return sorted(self._records.items())
 
     def nbytes(self) -> int:
         return int(sum(p.nbytes for p, _ in self._records.values()))

@@ -94,6 +94,16 @@ class LbfgsBuffer:
         """Drop all pairs (used by the vector-pair refresh policy)."""
         self._pairs.clear()
 
+    def pairs(self) -> list:
+        """Copies of the held ``(Δw, Δg)`` pairs, oldest first.
+
+        The serialization surface for recovery checkpoints: re-adding
+        these through :meth:`add_pair` in order reconstructs an
+        identical buffer (every held pair already passed the curvature
+        checks).
+        """
+        return [(dw.copy(), dg.copy()) for dw, dg in self._pairs]
+
     # ------------------------------------------------------------------
     def _matrices(self) -> Tuple[np.ndarray, np.ndarray, float]:
         """Stack pairs into (ΔW, ΔG) of shape (d, s) and compute σ."""

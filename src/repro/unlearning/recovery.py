@@ -21,11 +21,22 @@ exactly the paper's design and the source of its storage savings.
 
 No client is ever contacted: ``client_gradient_calls`` is 0 by
 construction, which the integration tests assert.
+
+Resilience: recovery over hundreds of rounds is itself a long-running
+server job, and the record it replays may have rotted on disk.  With a
+``checkpoint_dir`` the unlearner atomically checkpoints its replay
+state every ``checkpoint_every`` rounds and resumes from the last
+checkpoint after a crash, returning the same
+:class:`~repro.unlearning.base.UnlearnResult` an uninterrupted run
+would.  Missing or undecodable per-``(round, client)`` gradient entries
+and missing checkpoints are skipped and counted (``missing_entries`` /
+``missing_checkpoints`` in the stats) instead of raising.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,10 +53,13 @@ from repro.unlearning.base import (
 )
 from repro.unlearning.estimator import GradientEstimator
 from repro.utils.logging import get_logger
+from repro.utils.serialization import load_state, save_state_atomic
 
 __all__ = ["SignRecoveryUnlearner"]
 
 _log = get_logger("unlearning.recovery")
+
+_CHECKPOINT = "recovery.npz"
 
 
 class SignRecoveryUnlearner(UnlearningMethod):
@@ -62,6 +76,13 @@ class SignRecoveryUnlearner(UnlearningMethod):
     round_callback:
         Optional ``(recovery_round, params)`` hook, used by the figures
         to trace accuracy during recovery.
+    checkpoint_dir:
+        When set, replay state is checkpointed here (atomically) every
+        ``checkpoint_every`` rounds, and :meth:`unlearn` resumes from
+        an existing checkpoint instead of restarting.  The checkpoint
+        is removed on successful completion.
+    checkpoint_every:
+        Replay rounds between checkpoints.
     """
 
     name = "ours"
@@ -72,13 +93,19 @@ class SignRecoveryUnlearner(UnlearningMethod):
         buffer_size: int = 2,
         refresh_period: int = 21,
         round_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 5,
     ):
         if refresh_period < 1:
             raise ValueError("refresh_period must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.clip_threshold = clip_threshold
         self.buffer_size = buffer_size
         self.refresh_period = refresh_period
         self.round_callback = round_callback
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
 
     # ------------------------------------------------------------------
     def _seed_estimators(
@@ -97,7 +124,8 @@ class SignRecoveryUnlearner(UnlearningMethod):
         Clients with no usable pre-``F`` history start with an empty
         buffer — Eq. 6 then degenerates to ``ḡ = g`` until the refresh
         policy supplies pairs, which is the bootstrap the paper
-        prescribes for late joiners.
+        prescribes for late joiners.  Entries that fail to load from a
+        damaged record are treated as absent.
         """
         estimators: Dict[int, GradientEstimator] = {}
         for cid in remaining:
@@ -113,20 +141,107 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 None,
             )
             if anchor is not None:
-                w_anchor = record.params_at(anchor)
-                g_anchor = record.gradients.get(anchor, cid)
+                try:
+                    w_anchor = record.params_at(anchor)
+                    g_anchor = record.gradients.get(anchor, cid)
+                except Exception:  # damaged anchor: start with an empty buffer
+                    estimators[cid] = est
+                    continue
                 pre_rounds = [
                     j
                     for j in range(max(0, forget_round - 4 * self.buffer_size), forget_round)
                     if record.gradients.has(j, cid)
                 ][-self.buffer_size :]
                 for j in pre_rounds:
-                    est.seed_pair(
-                        record.params_at(j) - w_anchor,
-                        record.gradients.get(j, cid) - g_anchor,
-                    )
+                    try:
+                        est.seed_pair(
+                            record.params_at(j) - w_anchor,
+                            record.gradients.get(j, cid) - g_anchor,
+                        )
+                    except Exception:
+                        continue
             estimators[cid] = est
         return estimators
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self) -> str:
+        assert self.checkpoint_dir is not None
+        return os.path.join(self.checkpoint_dir, _CHECKPOINT)
+
+    def _fingerprint(
+        self, record: TrainingRecord, forget_ids: Sequence[int], forget_round: int
+    ) -> Dict:
+        """Identity of one logical recovery — a checkpoint from a
+        different request or record must never be resumed."""
+        return {
+            "forget_ids": sorted(int(c) for c in forget_ids),
+            "forget_round": int(forget_round),
+            "num_rounds": int(record.num_rounds),
+            "clip_threshold": float(self.clip_threshold),
+            "buffer_size": int(self.buffer_size),
+            "refresh_period": int(self.refresh_period),
+        }
+
+    def _save_checkpoint(
+        self,
+        fingerprint: Dict,
+        next_round: int,
+        recovered: np.ndarray,
+        estimators: Dict[int, GradientEstimator],
+        progress: Dict,
+    ) -> None:
+        arrays: Dict[str, np.ndarray] = {"recovered": recovered}
+        est_meta: Dict[str, Dict] = {}
+        for cid, est in estimators.items():
+            pairs = est.buffer.pairs()
+            for j, (dw, dg) in enumerate(pairs):
+                arrays[f"p_{cid}_{j}_w"] = dw
+                arrays[f"p_{cid}_{j}_g"] = dg
+            est_meta[str(cid)] = {
+                "num_pairs": len(pairs),
+                "estimates_made": est.estimates_made,
+                "pairs_accepted": est.pairs_accepted,
+                "pairs_rejected": est.pairs_rejected,
+            }
+        save_state_atomic(
+            self._checkpoint_path(),
+            arrays,
+            {
+                "fingerprint": fingerprint,
+                "next_round": next_round,
+                "estimators": est_meta,
+                "progress": progress,
+            },
+        )
+
+    def _load_checkpoint(
+        self, fingerprint: Dict
+    ) -> Optional[Tuple[int, np.ndarray, Dict[int, GradientEstimator], Dict]]:
+        path = self._checkpoint_path()
+        if not os.path.exists(path):
+            return None
+        arrays, meta = load_state(path)
+        if meta.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"recovery checkpoint at {path} belongs to a different request "
+                f"({meta.get('fingerprint')} != {fingerprint}); delete it to restart"
+            )
+        estimators: Dict[int, GradientEstimator] = {}
+        for cid_str, info in meta["estimators"].items():
+            cid = int(cid_str)
+            est = GradientEstimator(
+                buffer_size=self.buffer_size, clip_threshold=self.clip_threshold
+            )
+            for j in range(int(info["num_pairs"])):
+                est.buffer.add_pair(arrays[f"p_{cid}_{j}_w"], arrays[f"p_{cid}_{j}_g"])
+            est.estimates_made = int(info["estimates_made"])
+            est.pairs_accepted = int(info["pairs_accepted"])
+            est.pairs_rejected = int(info["pairs_rejected"])
+            estimators[cid] = est
+        recovered = np.asarray(arrays["recovered"], dtype=np.float64)
+        return int(meta["next_round"]), recovered, estimators, dict(meta["progress"])
 
     # ------------------------------------------------------------------
     def unlearn(
@@ -144,13 +259,59 @@ class SignRecoveryUnlearner(UnlearningMethod):
         remaining = remaining_ids(record, forget_ids)
         if not remaining:
             raise ValueError("cannot recover: no remaining clients")
-        estimators = self._seed_estimators(record, remaining, forget_round)
+
+        fingerprint = self._fingerprint(record, forget_ids, forget_round)
+        progress: Dict = {
+            "rounds_replayed": 0,
+            "skipped_rounds": 0,
+            "missing_entries": 0,
+            "missing_checkpoints": 0,
+            "displacement_norms": [],
+            "resumed_from": None,
+        }
+        start_round = forget_round
+        estimators: Optional[Dict[int, GradientEstimator]] = None
+        if self.checkpoint_dir is not None:
+            restored = self._load_checkpoint(fingerprint)
+            if restored is not None:
+                start_round, recovered, estimators, progress = restored
+                progress["resumed_from"] = start_round
+                _log.info("resuming recovery at round %d", start_round)
+        if estimators is None:
+            estimators = self._seed_estimators(record, remaining, forget_round)
 
         forget_set = set(forget_ids)
-        rounds_replayed = 0
-        skipped_rounds = 0
-        displacement_norms: List[float] = []
-        for t in range(forget_round, record.num_rounds):
+        displacement_norms: List[float] = [
+            float(n) for n in progress["displacement_norms"]
+        ]
+        rounds_replayed = int(progress["rounds_replayed"])
+        skipped_rounds = int(progress["skipped_rounds"])
+        missing_entries = int(progress["missing_entries"])
+        missing_checkpoints = int(progress["missing_checkpoints"])
+
+        def checkpoint_due(t: int) -> bool:
+            return (
+                self.checkpoint_dir is not None
+                and (t - forget_round + 1) % self.checkpoint_every == 0
+            )
+
+        def commit(t: int) -> None:
+            self._save_checkpoint(
+                fingerprint,
+                next_round=t + 1,
+                recovered=recovered,
+                estimators=estimators,
+                progress={
+                    "rounds_replayed": rounds_replayed,
+                    "skipped_rounds": skipped_rounds,
+                    "missing_entries": missing_entries,
+                    "missing_checkpoints": missing_checkpoints,
+                    "displacement_norms": displacement_norms,
+                    "resumed_from": progress["resumed_from"],
+                },
+            )
+
+        for t in range(start_round, record.num_rounds):
             participants = [
                 cid
                 for cid in record.ledger.participants_at(t)
@@ -160,31 +321,60 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 # Only forgotten clients contributed at t originally; the
                 # remaining-clients counterfactual has no update this round.
                 skipped_rounds += 1
+                if checkpoint_due(t):
+                    commit(t)
                 continue
-            historical = record.params_at(t)
-            displacement_norms.append(float(np.linalg.norm(recovered - historical)))
+            try:
+                historical = record.params_at(t)
+            except Exception:
+                # Damaged record: without w_t neither Eq. 6's displacement
+                # nor the refresh pairs exist — skip the round, keep going.
+                skipped_rounds += 1
+                missing_checkpoints += 1
+                if checkpoint_due(t):
+                    commit(t)
+                continue
             estimates: List[np.ndarray] = []
             weights: List[float] = []
             refresh_now = (t - forget_round + 1) % self.refresh_period == 0
             for cid in participants:
-                stored = record.gradients.get(t, cid)
+                try:
+                    stored = record.gradients.get(t, cid)
+                except Exception:
+                    # Missing/undecodable entry: the client contributes
+                    # nothing this round, like a historical dropout.
+                    missing_entries += 1
+                    continue
                 estimate = estimators[cid].estimate(stored, recovered, historical)
                 estimates.append(estimate)
                 weights.append(record.weight_of(cid))
                 if refresh_now:
                     estimators[cid].seed_pair(recovered - historical, estimate - stored)
+            if not estimates:
+                skipped_rounds += 1
+                if checkpoint_due(t):
+                    commit(t)
+                continue
+            displacement_norms.append(float(np.linalg.norm(recovered - historical)))
             recovered = recovered - record.learning_rate * aggregate(estimates, weights)
             rounds_replayed += 1
+            if checkpoint_due(t):
+                commit(t)
             if self.round_callback is not None:
                 self.round_callback(t, recovered.copy())
+
+        if self.checkpoint_dir is not None and os.path.exists(self._checkpoint_path()):
+            os.remove(self._checkpoint_path())
 
         pairs_accepted = sum(e.pairs_accepted for e in estimators.values())
         pairs_rejected = sum(e.pairs_rejected for e in estimators.values())
         _log.info(
-            "recovered from round %d over %d rounds (%d skipped); pairs +%d/-%d",
+            "recovered from round %d over %d rounds (%d skipped, %d entries missing); "
+            "pairs +%d/-%d",
             forget_round,
             rounds_replayed,
             skipped_rounds,
+            missing_entries,
             pairs_accepted,
             pairs_rejected,
         )
@@ -196,6 +386,9 @@ class SignRecoveryUnlearner(UnlearningMethod):
             stats={
                 "forget_round": forget_round,
                 "skipped_rounds": skipped_rounds,
+                "missing_entries": missing_entries,
+                "missing_checkpoints": missing_checkpoints,
+                "resumed_from": progress["resumed_from"],
                 "pairs_accepted": pairs_accepted,
                 "pairs_rejected": pairs_rejected,
                 "mean_displacement": (

@@ -14,11 +14,20 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Tuple
 
 import numpy as np
 
-__all__ = ["save_json", "load_json", "save_arrays", "load_arrays"]
+__all__ = [
+    "save_json",
+    "load_json",
+    "save_arrays",
+    "load_arrays",
+    "save_state_atomic",
+    "load_state",
+]
+
+_META_KEY = "__meta_json__"
 
 
 def _jsonify(value: Any) -> Any:
@@ -60,3 +69,44 @@ def load_arrays(path: str) -> Dict[str, np.ndarray]:
     """Load an ``.npz`` archive into a plain dict of arrays."""
     with np.load(path) as data:
         return {name: data[name].copy() for name in data.files}
+
+
+def save_state_atomic(
+    path: str, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+) -> None:
+    """Atomically write arrays + a JSON metadata blob as one ``.npz``.
+
+    The archive is written to ``path + ".tmp"`` and ``os.replace``-d
+    into place, so a crashed writer leaves either the previous snapshot
+    or the new one — never a half-written file.  Used by the round
+    journal and the recovery checkpoints, whose whole purpose is to
+    survive exactly that crash.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    blob = np.frombuffer(
+        json.dumps(_jsonify(dict(meta)), sort_keys=True).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **{_META_KEY: blob}, **{k: np.asarray(v) for k, v in arrays.items()})
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_state(path: str) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load a snapshot written by :func:`save_state_atomic`.
+
+    Returns ``(arrays, meta)``.  Raises whatever ``np.load`` raises on
+    a damaged archive — callers wrap that into their domain error.
+    """
+    with np.load(path) as data:
+        if _META_KEY not in data.files:
+            raise KeyError(f"{path} has no {_META_KEY!r} entry — not a state snapshot")
+        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+        arrays = {n: data[n].copy() for n in data.files if n != _META_KEY}
+    return arrays, meta

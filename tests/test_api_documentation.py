@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.defenses",
     "repro.eval",
+    "repro.faults",
     "repro.fl",
     "repro.iov",
     "repro.nn",
