@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke examples experiments clean
+.PHONY: install test chaos bench bench-smoke examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,16 @@ examples:
 	python examples/unlearning_service.py
 	python examples/dynamic_iov.py
 	python examples/chaos_resilience.py
+	python examples/telemetry_demo.py
+
+# Instrumented train -> forget -> recover run; writes telemetry-demo/
+# (events.jsonl, metrics.prom, metrics.csv, summary.txt).
+telemetry-demo:
+	python examples/telemetry_demo.py
+
+# Metrics contract: catalog <-> docs/METRICS.md must agree both ways.
+docs-lint:
+	pytest tests/test_metrics_docs.py -q
 
 experiments:
 	python -m repro.eval all --out results/

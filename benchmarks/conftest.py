@@ -6,6 +6,13 @@ wall-clock cost of reproducing that artifact at the selected scale —
 and write the result record to ``benchmarks/results/<name>.json`` so
 EXPERIMENTS.md can be refreshed from the same source.
 
+The whole benchmark session runs with telemetry enabled (registry
+only, no event sinks), and every saved record embeds the registry
+snapshot under a ``telemetry`` key — so each ``results/*.json`` gains
+a stable metrics schema (``counters`` / ``gauges`` / ``histograms``,
+names documented in ``docs/METRICS.md``).  The snapshot is cumulative
+across the session: a record reflects every run up to its save point.
+
 Scale: ``REPRO_SCALE`` env var; defaults to ``ci`` (minutes for the
 whole suite).  Use ``REPRO_SCALE=smoke`` for a fast sanity pass or
 ``REPRO_SCALE=paper`` for the full n=100/CNN setting.
@@ -18,6 +25,7 @@ import os
 import pytest
 
 from repro.eval.config import current_scale
+from repro.telemetry import Telemetry, set_telemetry
 from repro.utils.serialization import save_json
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -28,11 +36,22 @@ def scale() -> str:
     return current_scale(default="ci")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def telemetry():
+    """Session-wide metrics aggregation for every benchmark run."""
+    instance = Telemetry()
+    previous = set_telemetry(instance)
+    yield instance
+    set_telemetry(previous)
+
+
 @pytest.fixture(scope="session")
-def save_result():
-    """Writer for experiment result records."""
+def save_result(telemetry):
+    """Writer for experiment result records (telemetry snapshot attached)."""
 
     def _save(name: str, record: dict) -> None:
+        record = dict(record)
+        record["telemetry"] = telemetry.registry.snapshot()
         save_json(os.path.join(RESULTS_DIR, f"{name}.json"), record)
 
     return _save

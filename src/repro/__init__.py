@@ -11,6 +11,8 @@ The package is organized as one subpackage per subsystem:
 - :mod:`repro.faults` — fault injection, update validation, retries
 - :mod:`repro.iov` — mobility, coverage, join/leave/dropout schedules
 - :mod:`repro.unlearning` — the paper's scheme and all baselines
+- :mod:`repro.telemetry` — metrics registry, trace spans, exporters
+  (contract in ``docs/METRICS.md``)
 - :mod:`repro.eval` — experiment runners for every table and figure
 
 Quickstart::
@@ -25,7 +27,18 @@ or from the shell::
 
 __version__ = "1.0.0"
 
-from repro import attacks, datasets, faults, fl, iov, nn, storage, unlearning, utils  # noqa: F401
+from repro import (  # noqa: F401
+    attacks,
+    datasets,
+    faults,
+    fl,
+    iov,
+    nn,
+    storage,
+    telemetry,
+    unlearning,
+    utils,
+)
 
 __all__ = [
     "__version__",
@@ -36,6 +49,7 @@ __all__ = [
     "iov",
     "nn",
     "storage",
+    "telemetry",
     "unlearning",
     "utils",
 ]

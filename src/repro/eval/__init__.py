@@ -1,7 +1,9 @@
 """Evaluation harness: calibrated experiment configs, workload
 construction, and one runner per table/figure of the paper (plus
 ablations and the dynamic-IoV extension).  ``python -m repro.eval``
-is the CLI."""
+is the CLI; with ``--telemetry-dir`` it writes the full telemetry
+artifact set (JSONL events, Prometheus snapshot, CSV time-series, run
+summary — contract in ``docs/METRICS.md``)."""
 
 from repro.eval.config import ExperimentConfig, available_scales, config_for, current_scale
 from repro.eval.experiments import (
@@ -9,14 +11,22 @@ from repro.eval.experiments import (
     run_ablation_buffer,
     run_ablation_clipping,
     run_ablation_dropout,
+    run_ablation_hessian,
     run_ablation_refresh,
     run_ablation_sign,
+    run_communication,
+    run_cost,
+    run_detection,
     run_dynamic_iov,
     run_fig1,
     run_fig2,
     run_fig3,
+    run_noniid,
+    run_recovery_trace,
+    run_robust_agg,
     run_storage,
     run_table1,
+    run_verification,
 )
 from repro.eval.reporting import format_result, format_table
 from repro.eval.workloads import Workload, build_workload, train_workload
@@ -34,13 +44,21 @@ __all__ = [
     "run_ablation_buffer",
     "run_ablation_clipping",
     "run_ablation_dropout",
+    "run_ablation_hessian",
     "run_ablation_refresh",
     "run_ablation_sign",
+    "run_communication",
+    "run_cost",
+    "run_detection",
     "run_dynamic_iov",
     "run_fig1",
     "run_fig2",
     "run_fig3",
+    "run_noniid",
+    "run_recovery_trace",
+    "run_robust_agg",
     "run_storage",
     "run_table1",
+    "run_verification",
     "train_workload",
 ]

@@ -7,6 +7,14 @@ Examples
     python -m repro.eval table1 --scale ci
     python -m repro.eval fig2 --scale smoke --seed 7
     python -m repro.eval all --out results/
+    python -m repro.eval storage --telemetry-dir telemetry/
+
+With ``--telemetry-dir`` the run is instrumented end to end: a JSONL
+event log (``events.jsonl``), a Prometheus text snapshot
+(``metrics.prom``), a CSV time-series (``metrics.csv``), and a
+human-readable run summary (``summary.txt``) land in the directory, and
+the summary is printed.  Every metric is documented in
+``docs/METRICS.md``.
 
 The ``fuiov`` console script (installed by the package) is an alias.
 """
@@ -20,6 +28,16 @@ import sys
 from repro.eval.config import available_scales
 from repro.eval.experiments import EXPERIMENT_RUNNERS
 from repro.eval.reporting import format_result
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    export_csv,
+    format_run_summary,
+    read_events,
+    set_telemetry,
+    write_prometheus,
+    write_run_summary,
+)
 from repro.utils.logging import configure
 from repro.utils.serialization import save_json
 
@@ -48,22 +66,57 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write <experiment>.json result records into",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="enable telemetry and write events.jsonl / metrics.prom / "
+        "metrics.csv / summary.txt into this directory "
+        "(metric contract: docs/METRICS.md)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
     args = parser.parse_args(argv)
 
     if not args.quiet:
         configure()
 
+    telemetry = None
+    previous = None
+    events_path = None
+    if args.telemetry_dir:
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        events_path = os.path.join(args.telemetry_dir, "events.jsonl")
+        telemetry = Telemetry(sinks=[JsonlSink(events_path)])
+        previous = set_telemetry(telemetry)
+
     names = sorted(EXPERIMENT_RUNNERS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        runner = EXPERIMENT_RUNNERS[name]
-        result = runner(scale=args.scale, seed=args.seed)
-        print(format_result(result))
-        print()
-        if args.out:
-            path = os.path.join(args.out, f"{name}.json")
-            save_json(path, result)
-            print(f"[saved {path}]")
+    try:
+        for name in names:
+            if telemetry is not None:
+                telemetry.emit_event("experiment_start", experiment=name)
+            runner = EXPERIMENT_RUNNERS[name]
+            result = runner(scale=args.scale, seed=args.seed)
+            print(format_result(result))
+            print()
+            if args.out:
+                path = os.path.join(args.out, f"{name}.json")
+                save_json(path, result)
+                print(f"[saved {path}]")
+    finally:
+        if telemetry is not None:
+            set_telemetry(previous)
+            telemetry.close()
+            write_prometheus(
+                telemetry.registry, os.path.join(args.telemetry_dir, "metrics.prom")
+            )
+            export_csv(
+                read_events(events_path),
+                os.path.join(args.telemetry_dir, "metrics.csv"),
+            )
+            write_run_summary(
+                telemetry.registry, os.path.join(args.telemetry_dir, "summary.txt")
+            )
+            print(format_run_summary(telemetry.registry))
+            print(f"[telemetry written to {args.telemetry_dir}]")
     return 0
 
 

@@ -36,21 +36,26 @@ from repro.utils.rng import SeedSequenceTree
 from repro.utils.timer import Timer
 
 __all__ = [
-    "run_noniid",
-    "run_verification",
-    "run_table1",
+    "EXPERIMENT_RUNNERS",
+    "run_ablation_buffer",
+    "run_ablation_clipping",
+    "run_ablation_dropout",
+    "run_ablation_hessian",
+    "run_ablation_refresh",
+    "run_ablation_sign",
+    "run_communication",
+    "run_cost",
+    "run_detection",
+    "run_dynamic_iov",
     "run_fig1",
     "run_fig2",
-    "run_detection",
     "run_fig3",
+    "run_noniid",
+    "run_recovery_trace",
+    "run_robust_agg",
     "run_storage",
-    "run_ablation_clipping",
-    "run_ablation_refresh",
-    "run_ablation_buffer",
-    "run_ablation_sign",
-    "run_ablation_dropout",
-    "run_dynamic_iov",
-    "EXPERIMENT_RUNNERS",
+    "run_table1",
+    "run_verification",
 ]
 
 # Paper reference values (Table I and the figure captions/§V-B text).

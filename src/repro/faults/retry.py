@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro.faults.injection import TransientClientError
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["RetryPolicy", "RetryOutcome"]
 
@@ -99,16 +100,16 @@ class RetryPolicy:
         """
         schedule = self.delays()
         total_delay = 0.0
+        telemetry = current_telemetry()
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return RetryOutcome(
-                    value=fn(),
-                    attempts=attempt,
-                    total_delay=total_delay,
-                    succeeded=True,
-                )
+                value = fn()
             except TransientClientError:
                 if attempt == self.max_attempts:
+                    if telemetry.enabled:
+                        if attempt > 1:
+                            telemetry.inc("faults_retries_total", attempt - 1)
+                        telemetry.inc("faults_giveups_total")
                     return RetryOutcome(
                         value=None,
                         attempts=attempt,
@@ -119,4 +120,13 @@ class RetryPolicy:
                 total_delay += delay
                 if sleep is not None:
                     sleep(delay)
+            else:
+                if telemetry.enabled and attempt > 1:
+                    telemetry.inc("faults_retries_total", attempt - 1)
+                return RetryOutcome(
+                    value=value,
+                    attempts=attempt,
+                    total_delay=total_delay,
+                    succeeded=True,
+                )
         raise AssertionError("unreachable")  # pragma: no cover

@@ -20,6 +20,10 @@ dropout for the round (so the membership ledger and gradient store stay
 consistent) and logs a :class:`QuarantineEvent`.  The validator's norm
 history is part of the simulation's journaled state — a resumed run
 makes identical accept/reject decisions.
+
+Telemetry: every :meth:`UpdateValidator.check_round` counts its
+verdicts into ``faults_validation_total{verdict=ok|rejected}`` — see
+``docs/METRICS.md``.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 import numpy as np
+
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["UpdateValidator", "ValidationResult", "QuarantineEvent"]
 
@@ -146,6 +152,14 @@ class UpdateValidator:
         for cid, norm in norms.items():
             if results[cid].ok:
                 self._norms.append(norm)
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            ok = sum(1 for v in results.values() if v.ok)
+            rejected = len(results) - ok
+            if ok:
+                telemetry.inc("faults_validation_total", ok, verdict="ok")
+            if rejected:
+                telemetry.inc("faults_validation_total", rejected, verdict="rejected")
         return results
 
     def check(self, update: np.ndarray, expected_dim: int) -> ValidationResult:

@@ -4,6 +4,11 @@ Owns the global model parameters, applies the aggregation rule (Eq. 1)
 and the update rule (Eq. 2), and records the history every unlearning
 method later consumes: per-round checkpoints ``w_t`` and per-client
 stored updates (sign directions under the paper's scheme).
+
+Telemetry: each :meth:`RsuServer.run_round` is wrapped in an
+``fl_aggregate_seconds`` span (validation + store writes + Eq. 1/2),
+quarantined updates count into ``fl_quarantined_total``, and idle
+rounds into ``fl_rounds_skipped_total`` — see ``docs/METRICS.md``.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.storage.store import (
     ModelCheckpointStore,
     make_gradient_store,
 )
+from repro.telemetry.core import current_telemetry
 from repro.utils.logging import get_logger
 
 __all__ = ["RsuServer"]
@@ -107,6 +113,9 @@ class RsuServer:
         the RSU idles, the global model is unchanged, and the
         checkpoint for the next round equals the current one.
         """
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("fl_rounds_skipped_total")
         self.round_index += 1
         self.checkpoints.put(self.round_index, self.params)
         return self.params.copy()
@@ -128,40 +137,44 @@ class RsuServer:
         """
         if not updates:
             raise ValueError(f"round {self.round_index}: no client updates")
-        t = self.round_index
-        for client_id in updates:
-            if client_id not in self.client_sizes:
-                raise KeyError(f"update from unregistered client {client_id}")
-        if self.validator is not None:
-            verdicts = self.validator.check_round(
-                updates, expected_dim=self.params.size
-            )
-        else:
-            verdicts = None
-        accepted: Dict[int, np.ndarray] = {}
-        for client_id in sorted(updates):
-            if verdicts is not None and not verdicts[client_id].ok:
-                self.quarantine.append(
-                    QuarantineEvent(t, client_id, verdicts[client_id].reason)
+        telemetry = current_telemetry()
+        with telemetry.span("fl_aggregate_seconds"):
+            t = self.round_index
+            for client_id in updates:
+                if client_id not in self.client_sizes:
+                    raise KeyError(f"update from unregistered client {client_id}")
+            if self.validator is not None:
+                verdicts = self.validator.check_round(
+                    updates, expected_dim=self.params.size
                 )
-                self.ledger.record_dropout(client_id, t)
-                _log.warning(
-                    "round %d: quarantined update from client %d (%s)",
-                    t,
-                    client_id,
-                    verdicts[client_id].reason,
-                )
-                continue
-            accepted[client_id] = updates[client_id]
-        if not accepted:
-            return self.skip_round()
-        for client_id, gradient in accepted.items():
-            self.gradients.put(t, client_id, gradient)
-        ordered = sorted(accepted)
-        gradients = [accepted[cid] for cid in ordered]
-        weights = [self.client_sizes[cid] for cid in ordered]
-        aggregated = self._aggregate(gradients, weights)
-        self.params = self.params - self.learning_rate * aggregated
-        self.round_index = t + 1
-        self.checkpoints.put(self.round_index, self.params)
-        return self.params.copy()
+            else:
+                verdicts = None
+            accepted: Dict[int, np.ndarray] = {}
+            for client_id in sorted(updates):
+                if verdicts is not None and not verdicts[client_id].ok:
+                    self.quarantine.append(
+                        QuarantineEvent(t, client_id, verdicts[client_id].reason)
+                    )
+                    self.ledger.record_dropout(client_id, t)
+                    if telemetry.enabled:
+                        telemetry.inc("fl_quarantined_total")
+                    _log.warning(
+                        "round %d: quarantined update from client %d (%s)",
+                        t,
+                        client_id,
+                        verdicts[client_id].reason,
+                    )
+                    continue
+                accepted[client_id] = updates[client_id]
+            if not accepted:
+                return self.skip_round()
+            for client_id, gradient in accepted.items():
+                self.gradients.put(t, client_id, gradient)
+            ordered = sorted(accepted)
+            gradients = [accepted[cid] for cid in ordered]
+            weights = [self.client_sizes[cid] for cid in ordered]
+            aggregated = self._aggregate(gradients, weights)
+            self.params = self.params - self.learning_rate * aggregated
+            self.round_index = t + 1
+            self.checkpoints.put(self.round_index, self.params)
+            return self.params.copy()

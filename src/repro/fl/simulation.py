@@ -26,6 +26,13 @@ fail *constantly*):
   commits an atomic snapshot, so a killed process resumes exactly where
   it died and the final record is bitwise identical to an uninterrupted
   run.
+
+Telemetry: the loop emits per-round wall time (``fl_round_seconds``),
+per-client compute time and update size (``fl_client_update_seconds`` /
+``fl_client_update_bytes``), participation and dropout counters, the
+latest eval accuracy, and per-kind fault-injection counts — see
+``docs/METRICS.md``.  With the default null telemetry all of it is
+skipped at near-zero cost.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from repro.fl.server import RsuServer
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
 from repro.storage.store import GradientStore
+from repro.telemetry.core import current_telemetry
 from repro.utils.logging import get_logger
 
 __all__ = ["FederatedSimulation"]
@@ -328,33 +336,49 @@ class FederatedSimulation:
                 )
             start_round = self._restore(snapshot)
             accuracy_history = list(snapshot.accuracy_history)
+        telemetry = current_telemetry()
         for t in range(start_round, num_rounds):
-            participants = self._sync_membership(t)
-            updates: Dict[int, np.ndarray] = {}
-            global_params = self.server.params
-            for cid in participants:
-                fault = (
-                    self.fault_plan.fault_at(t, cid)
-                    if self.fault_plan is not None
-                    else None
-                )
-                try:
-                    updates[cid] = self._compute_update(cid, t, global_params, fault)
-                except ClientCrashError as exc:
-                    _log.debug("round %d: %s", t, exc)
-                    self.server.client_dropped_out(cid, t)
-            if updates:
-                new_params = self.server.run_round(updates)
-            else:
-                # Sparse IoV rounds with no surviving update: the RSU idles.
-                _log.debug("round %d: no usable updates, skipping", t)
-                new_params = self.server.skip_round()
+            with telemetry.span("fl_round_seconds"):
+                participants = self._sync_membership(t)
+                updates: Dict[int, np.ndarray] = {}
+                global_params = self.server.params
+                for cid in participants:
+                    fault = (
+                        self.fault_plan.fault_at(t, cid)
+                        if self.fault_plan is not None
+                        else None
+                    )
+                    if telemetry.enabled and fault is not None:
+                        telemetry.inc("fl_faults_injected_total", 1, kind=fault.kind)
+                    try:
+                        with telemetry.span("fl_client_update_seconds"):
+                            update = self._compute_update(cid, t, global_params, fault)
+                    except ClientCrashError as exc:
+                        _log.debug("round %d: %s", t, exc)
+                        self.server.client_dropped_out(cid, t)
+                        if telemetry.enabled:
+                            telemetry.inc("fl_dropouts_total")
+                    else:
+                        updates[cid] = update
+                        if telemetry.enabled:
+                            telemetry.observe("fl_client_update_bytes", update.nbytes)
+                if updates:
+                    new_params = self.server.run_round(updates)
+                else:
+                    # Sparse IoV rounds with no surviving update: the RSU idles.
+                    _log.debug("round %d: no usable updates, skipping", t)
+                    new_params = self.server.skip_round()
+                if telemetry.enabled:
+                    telemetry.inc("fl_rounds_total")
+                    telemetry.set_gauge("fl_participants", len(updates))
             if self.test_set is not None and (
                 (t + 1) % self.eval_every == 0 or t + 1 == num_rounds
             ):
                 self.model.set_flat_params(new_params)
                 acc = accuracy(self.model.predict(self.test_set.x), self.test_set.y)
                 accuracy_history.append(acc)
+                if telemetry.enabled:
+                    telemetry.set_gauge("fl_eval_accuracy", acc)
                 _log.info("round %d/%d test accuracy %.4f", t + 1, num_rounds, acc)
             if round_callback is not None:
                 round_callback(t, new_params)

@@ -10,6 +10,14 @@ The paper's scheme stores only the 2-bit gradient *direction*
 float32 gradients (:class:`FullGradientStore`).  Both implement the
 same interface so the unlearning algorithms are backend-agnostic, and
 both account their exact byte usage for the storage benchmark.
+
+Telemetry: every ``put``/``get`` times the codec work
+(``storage_encode_seconds`` / ``storage_decode_seconds`` spans), counts
+elements and bytes for throughput (``storage_*_elements_total``,
+``storage_put_bytes_total`` vs ``storage_raw_bytes_total``), and sets
+the ``storage_compression_ratio`` gauge, all labelled by backend
+(``sign``/``full``) — see ``docs/METRICS.md``.  With the default null
+telemetry the instrumentation short-circuits to nothing.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.storage.sign_codec import (
     encode_gradient,
     packed_size_bytes,
 )
+from repro.telemetry.core import current_telemetry
 
 __all__ = [
     "GradientStore",
@@ -91,15 +100,30 @@ class FullGradientStore(GradientStore):
         self._records: Dict[Tuple[int, int], np.ndarray] = {}
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
-        self._records[(round_index, client_id)] = np.asarray(
-            gradient, dtype=np.float32
-        ).copy()
+        telemetry = current_telemetry()
+        with telemetry.span("storage_encode_seconds"):
+            stored = np.asarray(gradient, dtype=np.float32).copy()
+        self._records[(round_index, client_id)] = stored
+        if telemetry.enabled:
+            telemetry.inc(
+                "storage_encoded_elements_total", stored.size, backend="full"
+            )
+            telemetry.inc("storage_put_bytes_total", stored.nbytes, backend="full")
+            telemetry.inc("storage_raw_bytes_total", stored.nbytes, backend="full")
+            telemetry.set_gauge("storage_compression_ratio", 1.0, backend="full")
 
     def get(self, round_index: int, client_id: int) -> np.ndarray:
         key = (round_index, client_id)
         if key not in self._records:
             raise KeyError(f"no gradient for client {client_id} at round {round_index}")
-        return self._records[key].astype(np.float64)
+        telemetry = current_telemetry()
+        with telemetry.span("storage_decode_seconds"):
+            decoded = self._records[key].astype(np.float64)
+        if telemetry.enabled:
+            telemetry.inc(
+                "storage_decoded_elements_total", decoded.size, backend="full"
+            )
+        return decoded
 
     def has(self, round_index: int, client_id: int) -> bool:
         return (round_index, client_id) in self._records
@@ -141,8 +165,20 @@ class SignGradientStore(GradientStore):
         self._records: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
-        packed, length = encode_gradient(np.asarray(gradient).ravel(), self.delta)
+        telemetry = current_telemetry()
+        with telemetry.span("storage_encode_seconds"):
+            packed, length = encode_gradient(np.asarray(gradient).ravel(), self.delta)
         self._records[(round_index, client_id)] = (packed, length)
+        if telemetry.enabled:
+            raw_bytes = length * 4  # float32 equivalent — the §IV baseline
+            telemetry.inc("storage_encoded_elements_total", length, backend="sign")
+            telemetry.inc("storage_put_bytes_total", packed.nbytes, backend="sign")
+            telemetry.inc("storage_raw_bytes_total", raw_bytes, backend="sign")
+            if raw_bytes:
+                telemetry.set_gauge(
+                    "storage_compression_ratio", packed.nbytes / raw_bytes,
+                    backend="sign",
+                )
 
     def put_encoded(
         self, round_index: int, client_id: int, packed: np.ndarray, length: int
@@ -168,7 +204,12 @@ class SignGradientStore(GradientStore):
         if key not in self._records:
             raise KeyError(f"no gradient for client {client_id} at round {round_index}")
         packed, length = self._records[key]
-        return decode_gradient(packed, length)
+        telemetry = current_telemetry()
+        with telemetry.span("storage_decode_seconds"):
+            decoded = decode_gradient(packed, length)
+        if telemetry.enabled:
+            telemetry.inc("storage_decoded_elements_total", length, backend="sign")
+        return decoded
 
     def has(self, round_index: int, client_id: int) -> bool:
         return (round_index, client_id) in self._records

@@ -1,0 +1,79 @@
+"""Telemetry & observability for training, unlearning, and recovery.
+
+The subsystem answers "where does time, storage, and recovery error
+go?" with four pieces:
+
+- a documented **metrics contract** — every counter/gauge/histogram is
+  declared in :mod:`repro.telemetry.catalog` and described in
+  ``docs/METRICS.md``; the registry rejects anything undeclared, and a
+  docs-lint test keeps the two in sync both directions;
+- a process-local :class:`~repro.telemetry.registry.MetricsRegistry`
+  aggregating counters, gauges, and histograms with explicit units and
+  label sets;
+- nestable :func:`~repro.telemetry.core.trace_span` timing contexts
+  whose durations feed the histogram of the same name, with structured
+  JSONL event emission when a sink is attached;
+- exporters (:mod:`repro.telemetry.exporters`): the JSONL event log,
+  a CSV time-series, a Prometheus text snapshot, and a human-readable
+  run summary.
+
+The default is :data:`~repro.telemetry.core.NULL` — a null sink whose
+operations are no-ops — so the instrumented hot paths (round loop,
+sign codec, L-BFGS, recovery replay) cost nearly nothing until a run
+opts in::
+
+    from repro.telemetry import JsonlSink, Telemetry, use_telemetry
+
+    tm = Telemetry(sinks=[JsonlSink("out/events.jsonl")])
+    with use_telemetry(tm):
+        record = sim.run(100)
+        result = unlearner.unlearn(record, [7], model)
+    print(format_run_summary(tm.registry))
+
+or, from the shell, ``python -m repro.eval storage --telemetry-dir out/``.
+"""
+
+from repro.telemetry.catalog import METRICS, MetricSpec
+from repro.telemetry.core import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    set_telemetry,
+    trace_span,
+    use_telemetry,
+)
+from repro.telemetry.exporters import (
+    JsonlSink,
+    export_csv,
+    export_prometheus,
+    format_run_summary,
+    read_events,
+    replay_events,
+    write_prometheus,
+    write_run_summary,
+)
+from repro.telemetry.registry import DEFAULT_BUCKETS, HistogramState, MetricsRegistry
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramState",
+    "JsonlSink",
+    "METRICS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "current_telemetry",
+    "export_csv",
+    "export_prometheus",
+    "format_run_summary",
+    "read_events",
+    "replay_events",
+    "set_telemetry",
+    "trace_span",
+    "use_telemetry",
+    "write_prometheus",
+    "write_run_summary",
+]

@@ -1,0 +1,242 @@
+"""The metrics contract, as data.
+
+Every metric the reproduction can emit is declared here as a
+:class:`MetricSpec` — name, kind, unit, allowed label keys, the module
+that emits it, and a one-line description.  The registry is *strict* by
+default: emitting a metric that is not declared here (or with label
+keys the spec does not allow) raises, so the catalog, the runtime, and
+``docs/METRICS.md`` can never drift apart.  ``tests/test_metrics_docs.py``
+enforces the catalog ⇄ docs equivalence in both directions.
+
+Naming rules (Prometheus conventions):
+
+- ``snake_case``, prefixed by the emitting subsystem
+  (``fl_`` / ``storage_`` / ``lbfgs_`` / ``recovery_`` / ``faults_``);
+- cumulative counters end in ``_total``;
+- histograms of durations end in ``_seconds`` and the span name *is*
+  the histogram name (``trace_span("fl_round_seconds")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["MetricSpec", "METRICS", "COUNTER", "GAUGE", "HISTOGRAM"]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: the unit of the documented contract.
+
+    Attributes
+    ----------
+    name:
+        Unique metric name (see the naming rules in the module docstring).
+    kind:
+        ``"counter"``, ``"gauge"``, or ``"histogram"``.
+    unit:
+        Measurement unit (``seconds``, ``bytes``, ``fraction``, ...).
+    labels:
+        Exact set of label keys every emission must carry.
+    module:
+        Dotted path of the module that emits it.
+    help:
+        One-line human description (also the Prometheus ``# HELP`` text).
+    """
+
+    name: str
+    kind: str
+    unit: str
+    module: str
+    help: str
+    labels: Tuple[str, ...] = field(default=())
+
+
+def _spec(name, kind, unit, module, help, labels=()):
+    return MetricSpec(
+        name=name, kind=kind, unit=unit, module=module, help=help, labels=tuple(labels)
+    )
+
+
+_ALL_SPECS = [
+    # ------------------------------------------------------------- fl.simulation
+    _spec(
+        "fl_rounds_total", COUNTER, "rounds", "repro.fl.simulation",
+        "Training rounds completed, including idle/skipped rounds.",
+    ),
+    _spec(
+        "fl_round_seconds", HISTOGRAM, "seconds", "repro.fl.simulation",
+        "Wall time of one full training round (span).",
+    ),
+    _spec(
+        "fl_client_update_seconds", HISTOGRAM, "seconds", "repro.fl.simulation",
+        "One client's update compute, including retries and fault handling (span).",
+    ),
+    _spec(
+        "fl_client_update_bytes", HISTOGRAM, "bytes", "repro.fl.simulation",
+        "Raw (float64) size of the update a client reports to the RSU.",
+    ),
+    _spec(
+        "fl_participants", GAUGE, "clients", "repro.fl.simulation",
+        "Clients that contributed a usable update in the latest round.",
+    ),
+    _spec(
+        "fl_dropouts_total", COUNTER, "events", "repro.fl.simulation",
+        "Client-rounds lost to crashes, missed deadlines, or retry exhaustion.",
+    ),
+    _spec(
+        "fl_eval_accuracy", GAUGE, "fraction", "repro.fl.simulation",
+        "Most recent held-out test accuracy of the global model.",
+    ),
+    _spec(
+        "fl_faults_injected_total", COUNTER, "events", "repro.fl.simulation",
+        "Faults applied to client computes, by kind (crash/corrupt/straggle/flaky).",
+        labels=("kind",),
+    ),
+    # ----------------------------------------------------------------- fl.server
+    _spec(
+        "fl_aggregate_seconds", HISTOGRAM, "seconds", "repro.fl.server",
+        "Validation, gradient-store writes, aggregation (Eq. 1) and model "
+        "step (Eq. 2) of one round (span).",
+    ),
+    _spec(
+        "fl_quarantined_total", COUNTER, "updates", "repro.fl.server",
+        "Updates rejected by the validator gate and quarantined.",
+    ),
+    _spec(
+        "fl_rounds_skipped_total", COUNTER, "rounds", "repro.fl.server",
+        "Rounds advanced with no usable update (the RSU idles).",
+    ),
+    # -------------------------------------------------------------- storage.store
+    _spec(
+        "storage_encode_seconds", HISTOGRAM, "seconds", "repro.storage.store",
+        "Sign-codec ternarize + 2-bit pack of one gradient "
+        "(SignGradientStore.put, span).",
+    ),
+    _spec(
+        "storage_decode_seconds", HISTOGRAM, "seconds", "repro.storage.store",
+        "Unpack of one stored record back to a direction vector (span).",
+    ),
+    _spec(
+        "storage_encoded_elements_total", COUNTER, "elements", "repro.storage.store",
+        "Gradient elements written through the store (encode throughput "
+        "numerator).",
+        labels=("backend",),
+    ),
+    _spec(
+        "storage_decoded_elements_total", COUNTER, "elements", "repro.storage.store",
+        "Gradient elements read back from the store (decode throughput "
+        "numerator).",
+        labels=("backend",),
+    ),
+    _spec(
+        "storage_put_bytes_total", COUNTER, "bytes", "repro.storage.store",
+        "Payload bytes written into the gradient store.",
+        labels=("backend",),
+    ),
+    _spec(
+        "storage_raw_bytes_total", COUNTER, "bytes", "repro.storage.store",
+        "Float32-equivalent bytes of the same records (compression "
+        "denominator).",
+        labels=("backend",),
+    ),
+    _spec(
+        "storage_compression_ratio", GAUGE, "fraction", "repro.storage.store",
+        "Stored/raw bytes of the latest record — ~0.0625 for the 2-bit sign "
+        "store (§IV), 1.0 for the full store.",
+        labels=("backend",),
+    ),
+    # ----------------------------------------------------------- unlearning.lbfgs
+    _spec(
+        "lbfgs_hvp_seconds", HISTOGRAM, "seconds", "repro.unlearning.lbfgs",
+        "One compact-form L-BFGS Hessian-vector product (Algorithm 2, span).",
+    ),
+    _spec(
+        "lbfgs_hvp_total", COUNTER, "calls", "repro.unlearning.lbfgs",
+        "Hessian-vector products computed during recovery.",
+    ),
+    _spec(
+        "lbfgs_buffer_update_seconds", HISTOGRAM, "seconds", "repro.unlearning.lbfgs",
+        "One vector-pair curvature check + buffer insertion (span).",
+    ),
+    _spec(
+        "lbfgs_pairs_accepted_total", COUNTER, "pairs", "repro.unlearning.lbfgs",
+        "Vector pairs that passed the curvature condition ΔwᵀΔg > 0.",
+    ),
+    _spec(
+        "lbfgs_pairs_rejected_total", COUNTER, "pairs", "repro.unlearning.lbfgs",
+        "Vector pairs rejected (near-zero Δw or non-positive curvature).",
+    ),
+    _spec(
+        "lbfgs_buffer_pairs", GAUGE, "pairs", "repro.unlearning.lbfgs",
+        "Pairs held by the most recently updated L-BFGS buffer.",
+    ),
+    # ------------------------------------------------------- unlearning.estimator
+    _spec(
+        "recovery_clip_rate", HISTOGRAM, "fraction", "repro.unlearning.estimator",
+        "Fraction of estimate elements clipped at ±L (Eq. 7), per estimate.",
+    ),
+    _spec(
+        "recovery_estimate_drift", HISTOGRAM, "l2norm", "repro.unlearning.estimator",
+        "L2 distance between the clipped estimate (Eq. 6+7) and the stored "
+        "direction it was estimated from, per estimate.",
+    ),
+    # -------------------------------------------------------- unlearning.recovery
+    _spec(
+        "recovery_rounds_total", COUNTER, "rounds", "repro.unlearning.recovery",
+        "Recovery rounds replayed (a model step was taken).",
+    ),
+    _spec(
+        "recovery_round_seconds", HISTOGRAM, "seconds", "repro.unlearning.recovery",
+        "Wall time of one recovery-replay round (span).",
+    ),
+    _spec(
+        "recovery_rounds_skipped_total", COUNTER, "rounds", "repro.unlearning.recovery",
+        "Replay rounds skipped (no remaining participant, damaged "
+        "checkpoint, or no decodable entry).",
+    ),
+    _spec(
+        "recovery_missing_entries_total", COUNTER, "records", "repro.unlearning.recovery",
+        "Per-(round, client) gradient entries missing or undecodable during "
+        "replay.",
+    ),
+    _spec(
+        "recovery_displacement_norm", GAUGE, "l2norm", "repro.unlearning.recovery",
+        "‖w̄_t − w_t‖₂ — recovered-vs-historical model displacement at the "
+        "latest replayed round (the Eq. 6 input).",
+    ),
+    _spec(
+        "recovery_progress", GAUGE, "fraction", "repro.unlearning.recovery",
+        "Completed fraction of the replay window [F, T).",
+    ),
+    _spec(
+        "recovery_checkpoints_total", COUNTER, "checkpoints", "repro.unlearning.recovery",
+        "Replay-state checkpoints committed to disk.",
+    ),
+    # ---------------------------------------------------------------- faults.retry
+    _spec(
+        "faults_retries_total", COUNTER, "attempts", "repro.faults.retry",
+        "Retry attempts made after transient client failures.",
+    ),
+    _spec(
+        "faults_giveups_total", COUNTER, "events", "repro.faults.retry",
+        "Calls that exhausted every retry attempt.",
+    ),
+    # ----------------------------------------------------------- faults.validation
+    _spec(
+        "faults_validation_total", COUNTER, "updates", "repro.faults.validation",
+        "Update-validation verdicts (verdict=ok|rejected).",
+        labels=("verdict",),
+    ),
+]
+
+METRICS: Dict[str, MetricSpec] = {s.name: s for s in _ALL_SPECS}
+"""Every declared metric, keyed by name — the machine-readable contract."""
+
+if len(METRICS) != len(_ALL_SPECS):  # pragma: no cover - import-time sanity
+    raise AssertionError("duplicate metric names in the catalog")

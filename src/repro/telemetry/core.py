@@ -1,0 +1,261 @@
+"""The telemetry facade: instruments + spans + event emission.
+
+A :class:`Telemetry` object bundles a
+:class:`~repro.telemetry.registry.MetricsRegistry` with zero or more
+event *sinks* (see :class:`~repro.telemetry.exporters.JsonlSink`).
+Every instrument update aggregates into the registry and — only when a
+sink is attached — also emits a structured event, so the JSONL log is a
+complete time-series from which the registry can be rebuilt
+(:func:`~repro.telemetry.exporters.replay_events`).
+
+Instrumented code never takes a telemetry parameter; it asks for the
+process-current instance via :func:`current_telemetry`.  The default is
+:data:`NULL` — a :class:`NullTelemetry` whose every operation is a
+no-op and whose spans never read the clock — so an uninstrumented run
+pays only a function call and an attribute check per site (< 3 %
+wall-time on a 20-round simulation, asserted by the test suite).
+Activate telemetry for a block with :func:`use_telemetry`, or for the
+rest of the process with :func:`set_telemetry`; ``python -m repro.eval
+--telemetry-dir`` does the latter.
+
+Spans are nestable: ``trace_span("fl_round_seconds")`` inside another
+span records its depth, and the span *name is* the histogram it feeds —
+every duration lands in the catalog histogram of the same name.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "current_telemetry",
+    "set_telemetry",
+    "trace_span",
+    "use_telemetry",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The do-nothing default: every operation is a no-op.
+
+    ``enabled`` is False so hot paths can skip computing metric values
+    (byte counts, clip rates) entirely.  Spans never call the clock.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+
+    def span(self, name: str, **labels):
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """No-op."""
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """No-op."""
+
+    def emit_event(self, event_type: str, **fields) -> None:
+        """No-op."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+class _Span:
+    """One live timing context; created by :meth:`Telemetry.span`."""
+
+    __slots__ = ("_telemetry", "name", "labels", "depth", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, labels: Dict[str, str]):
+        self._telemetry = telemetry
+        self.name = name
+        self.labels = labels
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        tm = self._telemetry
+        self.depth = tm._depth
+        tm._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        tm = self._telemetry
+        tm._depth -= 1
+        tm.registry.observe(self.name, duration, self.labels or None)
+        if tm._sinks:
+            tm._emit(
+                {
+                    "event": "span",
+                    "name": self.name,
+                    "duration_s": duration,
+                    "depth": self.depth,
+                    "labels": self.labels,
+                }
+            )
+        return False
+
+
+class Telemetry:
+    """Live telemetry: a registry plus optional event sinks.
+
+    Parameters
+    ----------
+    registry:
+        Metric aggregation backend; a fresh strict
+        :class:`~repro.telemetry.registry.MetricsRegistry` by default.
+    sinks:
+        Objects with ``write(event: dict)`` and ``close()`` — typically
+        one :class:`~repro.telemetry.exporters.JsonlSink`.  With no
+        sinks the registry still aggregates but no events are built.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sinks: Iterable = (),
+    ):
+        self.registry = registry or MetricsRegistry()
+        self._sinks: List = list(sinks)
+        self._depth = 0
+        self._seq = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: Dict) -> None:
+        event["seq"] = self._seq
+        event["t_s"] = time.perf_counter() - self._epoch
+        self._seq += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+    def emit_event(self, event_type: str, **fields) -> None:
+        """Emit a free-form structured event (run markers, annotations)."""
+        if self._sinks:
+            self._emit({"event": event_type, **fields})
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **labels) -> _Span:
+        """A nestable timing context; the duration feeds histogram ``name``."""
+        return _Span(self, name, labels)
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.registry.inc(name, value, labels or None)
+        if self._sinks:
+            self._emit(
+                {
+                    "event": "metric",
+                    "kind": "counter",
+                    "name": name,
+                    "value": value,
+                    "labels": labels,
+                }
+            )
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.registry.set_gauge(name, value, labels or None)
+        if self._sinks:
+            self._emit(
+                {
+                    "event": "metric",
+                    "kind": "gauge",
+                    "name": name,
+                    "value": float(value),
+                    "labels": labels,
+                }
+            )
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Fold one observation into histogram ``name``."""
+        self.registry.observe(name, value, labels or None)
+        if self._sinks:
+            self._emit(
+                {
+                    "event": "metric",
+                    "kind": "histogram",
+                    "name": name,
+                    "value": float(value),
+                    "labels": labels,
+                }
+            )
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        for sink in self._sinks:
+            sink.close()
+
+
+NULL = NullTelemetry()
+"""The process-wide default telemetry: everything off, near-zero cost."""
+
+_current = NULL
+
+
+def current_telemetry():
+    """The telemetry instance instrumented code should emit through."""
+    return _current
+
+
+def set_telemetry(telemetry) -> object:
+    """Install ``telemetry`` (or :data:`NULL`) process-wide; returns the
+    previous instance so callers can restore it."""
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry):
+    """Context manager: install ``telemetry`` for the block, then restore."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+
+
+def trace_span(name: str, **labels):
+    """Open a span named ``name`` on the current telemetry.
+
+    Convenience over ``current_telemetry().span(...)`` for code that
+    does not otherwise need the telemetry handle::
+
+        with trace_span("fl_round_seconds"):
+            ...
+    """
+    return _current.span(name, **labels)

@@ -1,0 +1,227 @@
+"""Process-local metric aggregation.
+
+:class:`MetricsRegistry` holds the current value of every counter,
+gauge, and histogram, keyed by ``(metric name, label set)``.  It is
+deliberately dumb — no I/O, no clock — so it can be snapshotted,
+exported (see :mod:`repro.telemetry.exporters`), and rebuilt from a
+JSONL event log (:func:`repro.telemetry.exporters.replay_events`).
+
+The registry is *strict* by default: every emission is checked against
+the catalog (:mod:`repro.telemetry.catalog`) — unknown names, a kind
+mismatch, or label keys the spec does not declare raise ``KeyError`` /
+``ValueError`` immediately, which is what keeps ``docs/METRICS.md``
+honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricSpec
+
+__all__ = ["MetricsRegistry", "HistogramState", "DEFAULT_BUCKETS"]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+)
+"""Shared histogram bucket upper bounds (an implicit +Inf bucket follows)."""
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class HistogramState:
+    """Aggregated state of one histogram series: count/sum/min/max plus
+    cumulative-style bucket counts over :data:`DEFAULT_BUCKETS`."""
+
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.bucket_counts = [0] * len(DEFAULT_BUCKETS)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(DEFAULT_BUCKETS):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[int]:
+        """Prometheus-style cumulative counts, one per bucket bound."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready summary (count/sum/mean/min/max)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """In-process store of every metric's current value.
+
+    Parameters
+    ----------
+    catalog:
+        Name → :class:`~repro.telemetry.catalog.MetricSpec` mapping;
+        defaults to the full contract
+        (:data:`repro.telemetry.catalog.METRICS`).
+    strict:
+        When True (default), reject emissions that are not declared in
+        the catalog or that carry the wrong label keys.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Dict[str, MetricSpec]] = None,
+        strict: bool = True,
+    ):
+        self.catalog = METRICS if catalog is None else catalog
+        self.strict = strict
+        self._counters: Dict[str, Dict[_LabelKey, float]] = {}
+        self._gauges: Dict[str, Dict[_LabelKey, float]] = {}
+        self._histograms: Dict[str, Dict[_LabelKey, HistogramState]] = {}
+
+    # ------------------------------------------------------------------
+    def _check(self, name: str, kind: str, labels: Optional[Dict[str, str]]) -> None:
+        if not self.strict:
+            return
+        spec = self.catalog.get(name)
+        if spec is None:
+            raise KeyError(
+                f"metric {name!r} is not declared in the telemetry catalog "
+                "(add it to repro/telemetry/catalog.py and docs/METRICS.md)"
+            )
+        if spec.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is declared as a {spec.kind}, emitted as a {kind}"
+            )
+        keys = tuple(sorted(labels)) if labels else ()
+        if keys != tuple(sorted(spec.labels)):
+            raise ValueError(
+                f"metric {name!r} declares labels {sorted(spec.labels)}, "
+                f"got {sorted(keys)}"
+            )
+
+    # ------------------------------------------------------------------
+    def inc(
+        self, name: str, value: float = 1.0, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Add ``value`` (>= 0) to counter ``name``."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (value {value})")
+        self._check(name, COUNTER, labels)
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0.0) + value
+
+    def set_gauge(
+        self, name: str, value: float, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self._check(name, GAUGE, labels)
+        self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+
+    def observe(
+        self, name: str, value: float, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Fold one observation into histogram ``name``."""
+        self._check(name, HISTOGRAM, labels)
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        state = series.get(key)
+        if state is None:
+            state = series[key] = HistogramState()
+        state.observe(float(value))
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def counter_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> float:
+        """Current value of a counter series (0.0 if never incremented)."""
+        return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+
+    def gauge_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        """Current value of a gauge series (None if never set)."""
+        return self._gauges.get(name, {}).get(_label_key(labels))
+
+    def histogram(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[HistogramState]:
+        """Aggregated state of a histogram series (None if never observed)."""
+        return self._histograms.get(name, {}).get(_label_key(labels))
+
+    def names_emitted(self) -> List[str]:
+        """Sorted names of every metric touched since construction."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def series(self, name: str) -> List[Tuple[Dict[str, str], object]]:
+        """All ``(labels, value-or-HistogramState)`` series of ``name``."""
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                return [(dict(k), v) for k, v in sorted(table[name].items())]
+        return []
+
+    def kind_of(self, name: str) -> Optional[str]:
+        """The kind under which ``name`` was emitted (None if untouched)."""
+        if name in self._counters:
+            return COUNTER
+        if name in self._gauges:
+            return GAUGE
+        if name in self._histograms:
+            return HISTOGRAM
+        return None
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serializable dump of every series — the stable schema
+        embedded into benchmark result records."""
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, series in sorted(self._counters.items()):
+            out["counters"][name] = [
+                {"labels": dict(k), "value": v} for k, v in sorted(series.items())
+            ]
+        for name, series in sorted(self._gauges.items()):
+            out["gauges"][name] = [
+                {"labels": dict(k), "value": v} for k, v in sorted(series.items())
+            ]
+        for name, series in sorted(self._histograms.items()):
+            out["histograms"][name] = [
+                {"labels": dict(k), **state.as_dict()}
+                for k, state in sorted(series.items())
+            ]
+        return out

@@ -14,12 +14,18 @@ Note Eq. 7 is applied *per element* (the paper's |·| "denotes the
 absolute value of gradient elements"): each element with magnitude
 above ``L`` is scaled down to exactly ``±L``; smaller elements pass
 through unchanged.
+
+Telemetry: every :meth:`GradientEstimator.estimate` observes the Eq. 7
+clip rate (fraction of elements at ±L, ``recovery_clip_rate``) and the
+estimated-vs-stored gradient drift ``‖g̃ − g‖₂``
+(``recovery_estimate_drift``) — see ``docs/METRICS.md``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.core import current_telemetry
 from repro.unlearning.lbfgs import LbfgsBuffer
 
 __all__ = ["estimate_gradient", "clip_elementwise", "GradientEstimator"]
@@ -93,4 +99,15 @@ class GradientEstimator:
             stored_gradient, self.buffer, recovered_params, historical_params
         )
         self.estimates_made += 1
-        return clip_elementwise(raw, self.clip_threshold)
+        clipped = clip_elementwise(raw, self.clip_threshold)
+        telemetry = current_telemetry()
+        if telemetry.enabled and raw.size:
+            clip_rate = float(
+                np.count_nonzero(np.abs(raw) > self.clip_threshold)
+            ) / raw.size
+            telemetry.observe("recovery_clip_rate", clip_rate)
+            stored = np.asarray(stored_gradient, dtype=np.float64).ravel()
+            telemetry.observe(
+                "recovery_estimate_drift", float(np.linalg.norm(clipped - stored))
+            )
+        return clipped

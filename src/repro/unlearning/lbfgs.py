@@ -27,6 +27,12 @@ with non-positive or negligible curvature are rejected at insertion,
 ``σ`` is clamped positive, and the middle system falls back to
 least-squares when singular — the same guards FedRecover needs in
 practice.
+
+Telemetry: each Hessian-vector product is timed and counted
+(``lbfgs_hvp_seconds`` span, ``lbfgs_hvp_total``), and each
+:meth:`LbfgsBuffer.add_pair` records its timing plus the
+accepted/rejected pair counters and the resulting buffer occupancy —
+see ``docs/METRICS.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 import numpy as np
+
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["LbfgsBuffer", "lbfgs_hessian_dense"]
 
@@ -77,18 +85,27 @@ class LbfgsBuffer:
         ``Δw`` or non-positive curvature ``ΔwᵀΔg`` are silently skipped
         (they would make BFGS indefinite).
         """
-        delta_w = np.asarray(delta_w, dtype=np.float64).ravel()
-        delta_g = np.asarray(delta_g, dtype=np.float64).ravel()
-        if delta_w.shape != delta_g.shape:
-            raise ValueError(
-                f"pair shape mismatch: {delta_w.shape} vs {delta_g.shape}"
+        telemetry = current_telemetry()
+        with telemetry.span("lbfgs_buffer_update_seconds"):
+            delta_w = np.asarray(delta_w, dtype=np.float64).ravel()
+            delta_g = np.asarray(delta_g, dtype=np.float64).ravel()
+            if delta_w.shape != delta_g.shape:
+                raise ValueError(
+                    f"pair shape mismatch: {delta_w.shape} vs {delta_g.shape}"
+                )
+            accepted = (
+                float(np.linalg.norm(delta_w)) >= _MIN_NORM
+                and float(delta_w @ delta_g) > _MIN_CURVATURE
             )
-        if float(np.linalg.norm(delta_w)) < _MIN_NORM:
-            return False
-        if float(delta_w @ delta_g) <= _MIN_CURVATURE:
-            return False
-        self._pairs.append((delta_w.copy(), delta_g.copy()))
-        return True
+            if accepted:
+                self._pairs.append((delta_w.copy(), delta_g.copy()))
+        if telemetry.enabled:
+            if accepted:
+                telemetry.inc("lbfgs_pairs_accepted_total")
+                telemetry.set_gauge("lbfgs_buffer_pairs", len(self._pairs))
+            else:
+                telemetry.inc("lbfgs_pairs_rejected_total")
+        return accepted
 
     def clear(self) -> None:
         """Drop all pairs (used by the vector-pair refresh policy)."""
@@ -122,6 +139,13 @@ class LbfgsBuffer:
         Eq. 6 degenerates to ``ḡ = g``, which is the bootstrap behaviour
         for clients lacking pre-``F`` history (see §IV-B).
         """
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("lbfgs_hvp_total")
+        with telemetry.span("lbfgs_hvp_seconds"):
+            return self._hvp(vector)
+
+    def _hvp(self, vector: np.ndarray) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64).ravel()
         if self.is_empty:
             return np.zeros_like(vector)

@@ -31,6 +31,14 @@ checkpoint after a crash, returning the same
 would.  Missing or undecodable per-``(round, client)`` gradient entries
 and missing checkpoints are skipped and counted (``missing_entries`` /
 ``missing_checkpoints`` in the stats) instead of raising.
+
+Telemetry: each replay round is timed (``recovery_round_seconds``
+span), replayed/skipped/missing counts and checkpoint commits feed
+counters, and two gauges track live progress — the completed fraction
+of the replay window (``recovery_progress``) and the Eq. 6 displacement
+``‖w̄_t − w_t‖₂`` (``recovery_displacement_norm``).  The per-estimate
+clip rate and drift come from
+:mod:`repro.unlearning.estimator` — see ``docs/METRICS.md``.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from repro.unlearning.base import (
     UnlearningMethod,
     remaining_ids,
 )
+from repro.telemetry.core import current_telemetry
 from repro.unlearning.estimator import GradientEstimator
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_state, save_state_atomic
@@ -289,6 +298,9 @@ class SignRecoveryUnlearner(UnlearningMethod):
         missing_entries = int(progress["missing_entries"])
         missing_checkpoints = int(progress["missing_checkpoints"])
 
+        telemetry = current_telemetry()
+        replay_window = max(1, record.num_rounds - forget_round)
+
         def checkpoint_due(t: int) -> bool:
             return (
                 self.checkpoint_dir is not None
@@ -296,6 +308,8 @@ class SignRecoveryUnlearner(UnlearningMethod):
             )
 
         def commit(t: int) -> None:
+            if telemetry.enabled:
+                telemetry.inc("recovery_checkpoints_total")
             self._save_checkpoint(
                 fingerprint,
                 next_round=t + 1,
@@ -311,55 +325,77 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 },
             )
 
-        for t in range(start_round, record.num_rounds):
-            participants = [
-                cid
-                for cid in record.ledger.participants_at(t)
-                if cid not in forget_set
-            ]
-            if not participants:
-                # Only forgotten clients contributed at t originally; the
-                # remaining-clients counterfactual has no update this round.
-                skipped_rounds += 1
-                if checkpoint_due(t):
-                    commit(t)
-                continue
-            try:
-                historical = record.params_at(t)
-            except Exception:
-                # Damaged record: without w_t neither Eq. 6's displacement
-                # nor the refresh pairs exist — skip the round, keep going.
-                skipped_rounds += 1
+        def skip(t: int, missing_checkpoint: bool = False) -> None:
+            nonlocal skipped_rounds, missing_checkpoints
+            skipped_rounds += 1
+            if missing_checkpoint:
                 missing_checkpoints += 1
-                if checkpoint_due(t):
-                    commit(t)
-                continue
-            estimates: List[np.ndarray] = []
-            weights: List[float] = []
-            refresh_now = (t - forget_round + 1) % self.refresh_period == 0
-            for cid in participants:
-                try:
-                    stored = record.gradients.get(t, cid)
-                except Exception:
-                    # Missing/undecodable entry: the client contributes
-                    # nothing this round, like a historical dropout.
-                    missing_entries += 1
-                    continue
-                estimate = estimators[cid].estimate(stored, recovered, historical)
-                estimates.append(estimate)
-                weights.append(record.weight_of(cid))
-                if refresh_now:
-                    estimators[cid].seed_pair(recovered - historical, estimate - stored)
-            if not estimates:
-                skipped_rounds += 1
-                if checkpoint_due(t):
-                    commit(t)
-                continue
-            displacement_norms.append(float(np.linalg.norm(recovered - historical)))
-            recovered = recovered - record.learning_rate * aggregate(estimates, weights)
-            rounds_replayed += 1
+            if telemetry.enabled:
+                telemetry.inc("recovery_rounds_skipped_total")
+                telemetry.set_gauge(
+                    "recovery_progress", (t - forget_round + 1) / replay_window
+                )
             if checkpoint_due(t):
                 commit(t)
+
+        for t in range(start_round, record.num_rounds):
+            with telemetry.span("recovery_round_seconds"):
+                participants = [
+                    cid
+                    for cid in record.ledger.participants_at(t)
+                    if cid not in forget_set
+                ]
+                if not participants:
+                    # Only forgotten clients contributed at t originally; the
+                    # remaining-clients counterfactual has no update this round.
+                    skip(t)
+                    continue
+                try:
+                    historical = record.params_at(t)
+                except Exception:
+                    # Damaged record: without w_t neither Eq. 6's displacement
+                    # nor the refresh pairs exist — skip the round, keep going.
+                    skip(t, missing_checkpoint=True)
+                    continue
+                estimates: List[np.ndarray] = []
+                weights: List[float] = []
+                refresh_now = (t - forget_round + 1) % self.refresh_period == 0
+                round_missing = 0
+                for cid in participants:
+                    try:
+                        stored = record.gradients.get(t, cid)
+                    except Exception:
+                        # Missing/undecodable entry: the client contributes
+                        # nothing this round, like a historical dropout.
+                        missing_entries += 1
+                        round_missing += 1
+                        continue
+                    estimate = estimators[cid].estimate(stored, recovered, historical)
+                    estimates.append(estimate)
+                    weights.append(record.weight_of(cid))
+                    if refresh_now:
+                        estimators[cid].seed_pair(
+                            recovered - historical, estimate - stored
+                        )
+                if telemetry.enabled and round_missing:
+                    telemetry.inc("recovery_missing_entries_total", round_missing)
+                if not estimates:
+                    skip(t)
+                    continue
+                displacement = float(np.linalg.norm(recovered - historical))
+                displacement_norms.append(displacement)
+                recovered = recovered - record.learning_rate * aggregate(
+                    estimates, weights
+                )
+                rounds_replayed += 1
+                if telemetry.enabled:
+                    telemetry.inc("recovery_rounds_total")
+                    telemetry.set_gauge("recovery_displacement_norm", displacement)
+                    telemetry.set_gauge(
+                        "recovery_progress", (t - forget_round + 1) / replay_window
+                    )
+                if checkpoint_due(t):
+                    commit(t)
             if self.round_callback is not None:
                 self.round_callback(t, recovered.copy())
 

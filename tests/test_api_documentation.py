@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.iov",
     "repro.nn",
     "repro.storage",
+    "repro.telemetry",
     "repro.unlearning",
     "repro.unlearning.baselines",
     "repro.utils",

@@ -1,0 +1,114 @@
+"""Docs-lint: the metrics contract in ``docs/METRICS.md`` and the
+machine-readable catalog (``repro.telemetry.catalog.METRICS``) must be
+equivalent — in both directions.
+
+A metric added to the catalog without a documentation row fails here,
+and so does a documented metric the runtime no longer declares.  Run
+via ``make docs-lint`` or as part of the normal suite.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM, METRICS
+
+DOCS_PATH = os.path.join(os.path.dirname(__file__), "..", "docs", "METRICS.md")
+
+
+def parse_doc_rows():
+    """Extract ``{name: (kind, unit, labels)}`` from METRICS.md table rows.
+
+    A metric row is a markdown table row whose first cell is a single
+    backticked metric name; the labels cell lists backticked label keys
+    (or an em-dash for none).
+    """
+    rows = {}
+    with open(DOCS_PATH, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line.startswith("|"):
+                continue
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if len(cells) < 5:
+                continue
+            m = re.fullmatch(r"`([a-z0-9_]+)`", cells[0])
+            if not m:
+                continue
+            labels = tuple(re.findall(r"`([a-z0-9_]+)`", cells[3]))
+            rows[m.group(1)] = (cells[1], cells[2], labels)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def doc_rows():
+    return parse_doc_rows()
+
+
+def test_docs_file_exists_and_parses(doc_rows):
+    assert os.path.exists(DOCS_PATH)
+    assert doc_rows, "no metric table rows parsed from docs/METRICS.md"
+
+
+def test_every_catalog_metric_is_documented(doc_rows):
+    missing = sorted(set(METRICS) - set(doc_rows))
+    assert not missing, (
+        f"metrics declared in the catalog but absent from docs/METRICS.md: "
+        f"{missing}"
+    )
+
+
+def test_every_documented_metric_is_declared(doc_rows):
+    stale = sorted(set(doc_rows) - set(METRICS))
+    assert not stale, (
+        f"metrics documented in docs/METRICS.md but not declared in "
+        f"repro/telemetry/catalog.py: {stale}"
+    )
+
+
+def test_documented_kind_unit_and_labels_match_catalog(doc_rows):
+    mismatches = []
+    for name, (kind, unit, labels) in sorted(doc_rows.items()):
+        spec = METRICS.get(name)
+        if spec is None:
+            continue  # covered by the direction tests above
+        if kind != spec.kind:
+            mismatches.append(f"{name}: doc kind {kind!r} != catalog {spec.kind!r}")
+        if unit != spec.unit:
+            mismatches.append(f"{name}: doc unit {unit!r} != catalog {spec.unit!r}")
+        if tuple(sorted(labels)) != tuple(sorted(spec.labels)):
+            mismatches.append(
+                f"{name}: doc labels {sorted(labels)} != catalog {sorted(spec.labels)}"
+            )
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_doc_sections_mention_emitting_modules():
+    with open(DOCS_PATH, encoding="utf-8") as fh:
+        text = fh.read()
+    for module in sorted({s.module for s in METRICS.values()}):
+        assert f"`{module}`" in text, (
+            f"docs/METRICS.md never names emitting module {module}"
+        )
+
+
+def test_docs_are_linked_from_readme_and_experiments():
+    root = os.path.join(os.path.dirname(__file__), "..")
+    for fname in ("README.md", "EXPERIMENTS.md"):
+        with open(os.path.join(root, fname), encoding="utf-8") as fh:
+            assert "docs/METRICS.md" in fh.read(), (
+                f"{fname} does not link docs/METRICS.md"
+            )
+
+
+def test_architecture_doc_names_every_instrumented_module():
+    path = os.path.join(os.path.dirname(__file__), "..", "docs", "ARCHITECTURE.md")
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    for module in sorted({s.module for s in METRICS.values()}):
+        # named as a module path or as its src-relative file
+        rel = module.replace("repro.", "").replace(".", "/") + ".py"
+        assert module in text or rel in text, (
+            f"docs/ARCHITECTURE.md never mentions instrumented module {module}"
+        )

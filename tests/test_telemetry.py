@@ -1,0 +1,420 @@
+"""Unit tests for the telemetry subsystem (repro.telemetry).
+
+Covers the strict registry, histogram aggregation, span nesting, the
+null default, JSONL sink round-trips (replay rebuilds an identical
+registry), Prometheus text formatting (including label escaping), the
+CSV exporter, and the run summary.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    HistogramState,
+    JsonlSink,
+    MetricsRegistry,
+    MetricSpec,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    export_csv,
+    export_prometheus,
+    format_run_summary,
+    read_events,
+    replay_events,
+    set_telemetry,
+    trace_span,
+    use_telemetry,
+    write_prometheus,
+    write_run_summary,
+)
+from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM
+
+
+def loose_catalog(**specs):
+    """Build a small catalog for tests that need custom metrics."""
+    out = {}
+    for name, (kind, labels) in specs.items():
+        out[name] = MetricSpec(
+            name=name, kind=kind, unit="units", module="tests", help=name,
+            labels=tuple(labels),
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total")
+        reg.inc("fl_rounds_total", 4)
+        assert reg.counter_value("fl_rounds_total") == 5.0
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("fl_rounds_total", -1)
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("fl_participants", 3)
+        reg.set_gauge("fl_participants", 7)
+        assert reg.gauge_value("fl_participants") == 7.0
+
+    def test_gauge_unset_is_none(self):
+        assert MetricsRegistry().gauge_value("fl_participants") is None
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_faults_injected_total", labels={"kind": "crash"})
+        reg.inc("fl_faults_injected_total", 2, labels={"kind": "straggle"})
+        assert reg.counter_value("fl_faults_injected_total", {"kind": "crash"}) == 1.0
+        assert reg.counter_value("fl_faults_injected_total", {"kind": "straggle"}) == 2.0
+        assert len(reg.series("fl_faults_injected_total")) == 2
+
+    def test_strict_rejects_unknown_name(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            reg.inc("made_up_metric_total")
+
+    def test_strict_rejects_kind_mismatch(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.set_gauge("fl_rounds_total", 1.0)  # declared counter
+
+    def test_strict_rejects_wrong_label_keys(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("fl_faults_injected_total")  # missing required 'kind'
+        with pytest.raises(ValueError):
+            reg.inc("fl_rounds_total", labels={"kind": "x"})  # extra key
+
+    def test_non_strict_accepts_anything(self):
+        reg = MetricsRegistry(strict=False)
+        reg.inc("anything_goes_total", labels={"x": "y"})
+        assert reg.counter_value("anything_goes_total", {"x": "y"}) == 1.0
+
+    def test_names_emitted_and_kind_of(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total")
+        reg.set_gauge("fl_participants", 1)
+        reg.observe("fl_round_seconds", 0.1)
+        assert reg.names_emitted() == [
+            "fl_participants", "fl_round_seconds", "fl_rounds_total",
+        ]
+        assert reg.kind_of("fl_rounds_total") == COUNTER
+        assert reg.kind_of("fl_participants") == GAUGE
+        assert reg.kind_of("fl_round_seconds") == HISTOGRAM
+        assert reg.kind_of("fl_eval_accuracy") is None
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total", 3)
+        reg.set_gauge("fl_eval_accuracy", 0.5)
+        reg.observe("fl_round_seconds", 2.0)
+        reg.observe("fl_round_seconds", 4.0)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["fl_rounds_total"] == [{"labels": {}, "value": 3.0}]
+        assert snap["gauges"]["fl_eval_accuracy"] == [{"labels": {}, "value": 0.5}]
+        (hist,) = snap["histograms"]["fl_round_seconds"]
+        assert hist["count"] == 2 and hist["sum"] == 6.0 and hist["mean"] == 3.0
+        assert hist["min"] == 2.0 and hist["max"] == 4.0
+        json.dumps(snap)  # must be JSON-serializable
+
+
+class TestHistogramState:
+    def test_stats(self):
+        h = HistogramState()
+        for v in (0.5, 1.5, 2.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(4.5)
+        assert h.mean == pytest.approx(1.5)
+        assert h.min == 0.5 and h.max == 2.5
+
+    def test_empty_as_dict_has_no_infinities(self):
+        d = HistogramState().as_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["max"] == 0.0
+
+    def test_cumulative_buckets_monotone_and_complete(self):
+        h = HistogramState()
+        values = [1e-7, 0.02, 0.3, 7.0, 500.0]
+        for v in values:
+            h.observe(v)
+        cum = h.cumulative_buckets()
+        assert cum == sorted(cum)
+        assert cum[-1] == len(values)  # all values within the largest bound
+        # each value lands in the first bucket whose bound contains it
+        assert cum[0] == 1  # 1e-7 <= 1e-6
+
+
+# ----------------------------------------------------------------------
+# telemetry facade + spans
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_span_feeds_histogram_of_same_name(self):
+        tm = Telemetry()
+        with tm.span("fl_round_seconds"):
+            pass
+        hist = tm.registry.histogram("fl_round_seconds")
+        assert hist is not None and hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_span_nesting_depths(self):
+        tm = Telemetry()
+        with tm.span("fl_round_seconds") as outer:
+            with tm.span("fl_client_update_seconds") as inner:
+                assert inner.depth == 1
+            assert outer.depth == 0
+        assert tm.registry.histogram("fl_client_update_seconds").count == 1
+
+    def test_kwargs_become_labels(self):
+        tm = Telemetry()
+        tm.inc("fl_faults_injected_total", kind="crash")
+        assert tm.registry.counter_value(
+            "fl_faults_injected_total", {"kind": "crash"}
+        ) == 1.0
+
+    def test_null_telemetry_is_inert(self):
+        null = NullTelemetry()
+        assert null.enabled is False
+        with null.span("anything"):  # undeclared name: must not raise
+            null.inc("whatever")
+            null.set_gauge("whatever", 1)
+            null.observe("whatever", 1)
+            null.emit_event("whatever")
+        null.close()
+        assert null.registry.names_emitted() == []
+
+    def test_null_span_is_shared(self):
+        null = NullTelemetry()
+        assert null.span("a") is null.span("b")
+
+    def test_use_telemetry_installs_and_restores(self):
+        before = current_telemetry()
+        tm = Telemetry()
+        with use_telemetry(tm):
+            assert current_telemetry() is tm
+            with trace_span("fl_round_seconds"):
+                pass
+        assert current_telemetry() is before
+        assert tm.registry.histogram("fl_round_seconds").count == 1
+
+    def test_set_telemetry_returns_previous_and_none_means_null(self):
+        previous = set_telemetry(None)
+        try:
+            assert current_telemetry().enabled is False
+        finally:
+            set_telemetry(previous)
+
+
+# ----------------------------------------------------------------------
+# JSONL sink + replay round-trip
+# ----------------------------------------------------------------------
+class TestJsonlRoundTrip:
+    def test_events_are_ordered_and_timestamped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tm = Telemetry(sinks=[JsonlSink(path)])
+        tm.emit_event("run_start", note="hello")
+        tm.inc("fl_rounds_total")
+        with tm.span("fl_round_seconds"):
+            pass
+        tm.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["run_start", "metric", "span"]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all(e["t_s"] >= 0 for e in events)
+
+    def test_replay_rebuilds_equal_registry(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tm = Telemetry(sinks=[JsonlSink(path)])
+        tm.inc("fl_rounds_total", 3)
+        tm.set_gauge("fl_eval_accuracy", 0.75)
+        tm.observe("fl_client_update_bytes", 4096)
+        tm.inc("storage_put_bytes_total", 128, backend="sign")
+        with tm.span("fl_round_seconds"):
+            pass
+        tm.close()
+        replayed = replay_events(read_events(path))
+        assert replayed.snapshot() == tm.registry.snapshot()
+
+    def test_no_sink_means_no_events_but_registry_fills(self):
+        tm = Telemetry()
+        tm.inc("fl_rounds_total")
+        tm.emit_event("ignored")  # no sink: silently dropped
+        assert tm.registry.counter_value("fl_rounds_total") == 1.0
+
+    def test_sink_creates_parent_dirs_and_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "events.jsonl")
+        sink = JsonlSink(path)
+        sink.write({"event": "x"})
+        sink.close()
+        sink.close()
+        assert read_events(path) == [{"event": "x"}]
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total", 5)
+        reg.set_gauge("fl_eval_accuracy", 0.875)
+        text = export_prometheus(reg)
+        assert "# TYPE fl_rounds_total counter" in text
+        assert "fl_rounds_total 5" in text
+        assert "# TYPE fl_eval_accuracy gauge" in text
+        assert "fl_eval_accuracy 0.875" in text
+        assert text.endswith("\n")
+
+    def test_help_lines_come_from_catalog(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total")
+        text = export_prometheus(reg)
+        assert f"# HELP fl_rounds_total {METRICS['fl_rounds_total'].help}" in text
+
+    def test_labels_rendered_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("storage_put_bytes_total", 10, labels={"backend": "sign"})
+        text = export_prometheus(reg)
+        assert 'storage_put_bytes_total{backend="sign"} 10' in text
+
+    def test_label_value_escaping(self):
+        catalog = loose_catalog(weird_total=(COUNTER, ("tag",)))
+        reg = MetricsRegistry(catalog=catalog)
+        reg.inc("weird_total", labels={"tag": 'a"b\\c\nd'})
+        text = export_prometheus(reg)
+        assert 'weird_total{tag="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_histogram_buckets_sum_count(self):
+        reg = MetricsRegistry()
+        reg.observe("fl_round_seconds", 0.02)
+        reg.observe("fl_round_seconds", 3.0)
+        text = export_prometheus(reg)
+        assert "# TYPE fl_round_seconds histogram" in text
+        # 0.02 lands in le=0.025; both values within le=5.0; +Inf = count
+        assert 'fl_round_seconds_bucket{le="0.025"} 1' in text
+        assert 'fl_round_seconds_bucket{le="5"} 2' in text
+        assert 'fl_round_seconds_bucket{le="+Inf"} 2' in text
+        assert "fl_round_seconds_sum 3.02" in text
+        assert "fl_round_seconds_count 2" in text
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.001, 1.0):
+            reg.observe("fl_round_seconds", v)
+        text = export_prometheus(reg)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("fl_round_seconds_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+        assert len(counts) == len(DEFAULT_BUCKETS) + 1  # + the +Inf bucket
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total")
+        path = str(tmp_path / "out" / "metrics.prom")
+        write_prometheus(reg, path)
+        with open(path) as fh:
+            assert "fl_rounds_total 1" in fh.read()
+
+
+class TestCsvExport:
+    def test_rows_and_header(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tm = Telemetry(sinks=[JsonlSink(path)])
+        tm.inc("fl_rounds_total")
+        with tm.span("fl_round_seconds"):
+            pass
+        tm.emit_event("experiment_start", experiment="table1")
+        tm.close()
+        out = str(tmp_path / "metrics.csv")
+        rows = export_csv(read_events(path), out)
+        assert rows == 3
+        with open(out) as fh:
+            lines = fh.read().splitlines()
+        assert lines[0] == "seq,t_s,event,name,kind,value,depth,labels"
+        assert len(lines) == 4
+        assert "fl_rounds_total" in lines[1]
+        assert "fl_round_seconds" in lines[2]
+
+    def test_labels_column_is_json(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tm = Telemetry(sinks=[JsonlSink(path)])
+        tm.inc("storage_put_bytes_total", 64, backend="sign")
+        tm.close()
+        out = str(tmp_path / "metrics.csv")
+        export_csv(read_events(path), out)
+        with open(out) as fh:
+            body = fh.read()
+        assert '""backend"": ""sign""' in body or '"backend": "sign"' in body
+
+
+class TestRunSummary:
+    def test_contains_sections_values_and_units(self):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total", 12)
+        reg.set_gauge("fl_eval_accuracy", 0.9)
+        reg.observe("fl_round_seconds", 0.25)
+        text = format_run_summary(reg)
+        assert text.startswith("== run summary ==")
+        assert "counters:" in text and "gauges:" in text and "histograms:" in text
+        assert "fl_rounds_total  12 rounds" in text
+        assert "fl_eval_accuracy  0.9 fraction" in text
+        assert "count=1" in text and "seconds" in text
+
+    def test_label_suffix_rendered(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("storage_compression_ratio", 0.0625, {"backend": "sign"})
+        assert "storage_compression_ratio{backend=sign}" in format_run_summary(reg)
+
+    def test_write_run_summary(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("fl_rounds_total")
+        path = str(tmp_path / "summary.txt")
+        write_run_summary(reg, path, title="demo")
+        with open(path) as fh:
+            content = fh.read()
+        assert content.startswith("== demo ==")
+        assert content.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# catalog sanity
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_every_spec_is_well_formed(self):
+        for name, spec in METRICS.items():
+            assert spec.name == name
+            assert spec.kind in (COUNTER, GAUGE, HISTOGRAM)
+            assert spec.unit and spec.module and spec.help
+            assert spec.module.startswith("repro.")
+            assert name == name.lower()
+            assert isinstance(spec.labels, tuple)
+
+    def test_naming_conventions(self):
+        for name, spec in METRICS.items():
+            if name.endswith("_total"):
+                assert spec.kind == COUNTER, name
+            if spec.kind == COUNTER:
+                assert name.endswith("_total"), name
+            if name.endswith("_seconds"):
+                assert spec.kind == HISTOGRAM, name
+                assert spec.unit == "seconds", name
+
+    def test_every_emitting_module_exists(self):
+        import importlib
+
+        for module in sorted({s.module for s in METRICS.values()}):
+            importlib.import_module(module)
