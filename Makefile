@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-parallel examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,11 @@ bench:
 bench-smoke:
 	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only
 
+# Serial-vs-process baseline (bitwise identity asserted, speedup and
+# CPU count recorded into benchmarks/results/parallel.json).
+bench-parallel:
+	pytest benchmarks/test_bench_parallel.py --benchmark-only
+
 examples:
 	python examples/quickstart.py
 	python examples/storage_savings.py
@@ -28,6 +33,7 @@ examples:
 	python examples/dynamic_iov.py
 	python examples/chaos_resilience.py
 	python examples/telemetry_demo.py
+	python examples/parallel_speedup.py
 
 # Instrumented train -> forget -> recover run; writes telemetry-demo/
 # (events.jsonl, metrics.prom, metrics.csv, summary.txt).

@@ -2,7 +2,8 @@
 
 These are classic pytest-benchmark timings (many rounds): conv
 forward/backward, a full FL round, FedAvg aggregation, the L-BFGS
-Hessian-vector product, and recovery-round estimation.
+Hessian-vector product, recovery-round estimation, and the sign codec
+(per-vector and batched whole-round encoding).
 """
 
 import numpy as np
@@ -11,6 +12,7 @@ import pytest
 from repro.datasets import ArrayDataset
 from repro.fl import VehicleClient, fedavg
 from repro.nn import mnist_cnn
+from repro.storage import encode_round, pack_signs, ternarize, unpack_signs
 from repro.unlearning.estimator import GradientEstimator
 from repro.unlearning.lbfgs import LbfgsBuffer
 
@@ -57,6 +59,34 @@ def test_fedavg_100_clients(benchmark):
     weights = list(rng.integers(100, 300, size=100))
     out = benchmark(fedavg, grads, weights)
     assert out.shape == (52138,)
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_pack_signs_single(benchmark):
+    """One client's ternarize + 2-bit pack at paper-profile model size."""
+    rng = np.random.default_rng(6)
+    signs = ternarize(rng.normal(size=52138), 0.1)
+    packed, length = benchmark(pack_signs, signs)
+    assert length == 52138
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_unpack_signs_single(benchmark):
+    rng = np.random.default_rng(7)
+    signs = ternarize(rng.normal(size=52138), 0.1)
+    packed, length = pack_signs(signs)
+    out = benchmark(unpack_signs, packed, length)
+    np.testing.assert_array_equal(out, signs)
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_encode_round_batched_20_clients(benchmark):
+    """One round's whole-cohort ternarize + pack — the
+    SignGradientStore.put_round fast path."""
+    rng = np.random.default_rng(8)
+    gradients = rng.normal(size=(20, 52138))
+    packed, length = benchmark(encode_round, gradients, 0.1)
+    assert packed.shape[0] == 20 and length == 52138
 
 
 @pytest.mark.benchmark(group="micro-unlearn")

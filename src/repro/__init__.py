@@ -10,6 +10,8 @@ The package is organized as one subpackage per subsystem:
 - :mod:`repro.fl` — vehicles, RSU server, FedAvg, the round loop
 - :mod:`repro.faults` — fault injection, update validation, retries
 - :mod:`repro.iov` — mobility, coverage, join/leave/dropout schedules
+- :mod:`repro.parallel` — pluggable serial/thread/process execution
+  engine for the round loop and recovery replay (bitwise-deterministic)
 - :mod:`repro.unlearning` — the paper's scheme and all baselines
 - :mod:`repro.telemetry` — metrics registry, trace spans, exporters
   (contract in ``docs/METRICS.md``)
@@ -34,6 +36,7 @@ from repro import (  # noqa: F401
     fl,
     iov,
     nn,
+    parallel,
     storage,
     telemetry,
     unlearning,
@@ -48,6 +51,7 @@ __all__ = [
     "fl",
     "iov",
     "nn",
+    "parallel",
     "storage",
     "telemetry",
     "unlearning",

@@ -9,6 +9,11 @@ Examples
     python -m repro.eval all --out results/
     python -m repro.eval storage --telemetry-dir telemetry/
 
+``--backend thread --workers 4`` (or ``process``) routes the training
+round loop and recovery replay through the :mod:`repro.parallel`
+execution engine — results are bitwise identical to the default serial
+run; only wall time changes.
+
 With ``--telemetry-dir`` the run is instrumented end to end: a JSONL
 event log (``events.jsonl``), a Prometheus text snapshot
 (``metrics.prom``), a CSV time-series (``metrics.csv``), and a
@@ -28,6 +33,7 @@ import sys
 from repro.eval.config import available_scales
 from repro.eval.experiments import EXPERIMENT_RUNNERS
 from repro.eval.reporting import format_result
+from repro.parallel.policy import BACKENDS, default_execution, set_default_execution
 from repro.telemetry import (
     JsonlSink,
     Telemetry,
@@ -73,11 +79,32 @@ def main(argv=None) -> int:
         "metrics.csv / summary.txt into this directory "
         "(metric contract: docs/METRICS.md)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="execution engine for the round/recovery loops "
+        "(default: serial; results are bitwise identical across backends)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker slots for the thread/process backends (default: 1)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
     args = parser.parse_args(argv)
 
     if not args.quiet:
         configure()
+
+    previous_execution = None
+    if args.backend is not None or args.workers is not None:
+        current = default_execution()
+        previous_execution = set_default_execution(
+            backend=args.backend if args.backend is not None else current.backend,
+            workers=args.workers if args.workers is not None else current.workers,
+        )
 
     telemetry = None
     previous = None
@@ -102,6 +129,10 @@ def main(argv=None) -> int:
                 save_json(path, result)
                 print(f"[saved {path}]")
     finally:
+        if previous_execution is not None:
+            set_default_execution(
+                previous_execution.backend, previous_execution.workers
+            )
         if telemetry is not None:
             set_telemetry(previous)
             telemetry.close()

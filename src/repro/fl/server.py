@@ -168,8 +168,9 @@ class RsuServer:
                 accepted[client_id] = updates[client_id]
             if not accepted:
                 return self.skip_round()
-            for client_id, gradient in accepted.items():
-                self.gradients.put(t, client_id, gradient)
+            # Batched commit: one vectorized encode pass for sign stores
+            # (bitwise identical to per-client puts in the same order).
+            self.gradients.put_round(t, accepted)
             ordered = sorted(accepted)
             gradients = [accepted[cid] for cid in ordered]
             weights = [self.client_sizes[cid] for cid in ordered]

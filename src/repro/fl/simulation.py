@@ -5,9 +5,14 @@ schedule into the round loop of §III-A, producing the
 :class:`~repro.fl.history.TrainingRecord` the unlearning methods
 consume.
 
-One scratch model instance is shared by all clients (each sets the
-global parameters before its gradient pass), so memory stays flat in
-the number of vehicles.
+On the default serial path one scratch model instance is shared by all
+clients (each sets the global parameters before its gradient pass), so
+memory stays flat in the number of vehicles.  With ``backend="thread"``
+or ``"process"`` the per-client compute fans out through
+:mod:`repro.parallel` instead — each worker borrows a private scratch
+model and the client's own RNG state travels with the task, so the
+resulting record is **bitwise identical to the serial run** (see the
+package docstring for the full determinism contract).
 
 The loop is resilient by construction (the IoV premise is that things
 fail *constantly*):
@@ -32,11 +37,15 @@ per-client compute time and update size (``fl_client_update_seconds`` /
 ``fl_client_update_bytes``), participation and dropout counters, the
 latest eval accuracy, and per-kind fault-injection counts — see
 ``docs/METRICS.md``.  With the default null telemetry all of it is
-skipped at near-zero cost.
+skipped at near-zero cost.  Parallel runs additionally report pool
+shape and timing (``fl_parallel_*``); workers themselves emit nothing —
+the parent re-emits per-client metrics from returned stats so serial
+and parallel runs produce identical counters.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -58,6 +67,13 @@ from repro.fl.journal import JournalSnapshot, RoundJournal
 from repro.fl.server import RsuServer
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
+from repro.parallel.executor import Executor, make_executor, pool_utilization
+from repro.parallel.policy import resolve_execution
+from repro.parallel.rounds import (
+    ClientRoundTask,
+    build_training_context,
+    run_client_round,
+)
 from repro.storage.store import GradientStore
 from repro.telemetry.core import current_telemetry
 from repro.utils.logging import get_logger
@@ -109,6 +125,13 @@ class FederatedSimulation:
     validator:
         Update-validation gate handed to the server; see
         :class:`~repro.fl.server.RsuServer`.
+    backend, workers:
+        Execution engine for the per-client round fan-out
+        (``serial``/``thread``/``process``); None falls back to the
+        process-wide default from
+        :func:`repro.parallel.policy.default_execution` (serial, 1
+        worker, unless the CLI's ``--backend``/``--workers`` changed
+        it).  Every backend produces a bitwise-identical record.
     """
 
     def __init__(
@@ -124,6 +147,8 @@ class FederatedSimulation:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         validator: Optional[UpdateValidator] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -151,6 +176,7 @@ class FederatedSimulation:
         self.eval_every = eval_every
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
+        self.execution = resolve_execution(backend, workers)
         self.fault_stats: Dict[str, int] = {k: 0 for k in _FAULT_STAT_KEYS}
         self._registered: set = set()
         self._left: set = set()
@@ -250,6 +276,149 @@ class FederatedSimulation:
         raise AssertionError(f"unhandled fault kind {fault.kind}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # per-round update collection (serial and parallel paths)
+    # ------------------------------------------------------------------
+    def _collect_updates_serial(
+        self, t: int, participants: List[int], global_params: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Reference inline path: one client after another."""
+        telemetry = current_telemetry()
+        updates: Dict[int, np.ndarray] = {}
+        for cid in participants:
+            fault = (
+                self.fault_plan.fault_at(t, cid)
+                if self.fault_plan is not None
+                else None
+            )
+            if telemetry.enabled and fault is not None:
+                telemetry.inc("fl_faults_injected_total", 1, kind=fault.kind)
+            try:
+                with telemetry.span("fl_client_update_seconds"):
+                    update = self._compute_update(cid, t, global_params, fault)
+            except ClientCrashError as exc:
+                _log.debug("round %d: %s", t, exc)
+                self.server.client_dropped_out(cid, t)
+                if telemetry.enabled:
+                    telemetry.inc("fl_dropouts_total")
+            else:
+                updates[cid] = update
+                if telemetry.enabled:
+                    telemetry.observe("fl_client_update_bytes", update.nbytes)
+        return updates
+
+    def _make_executor(self) -> Executor:
+        """Build the round-loop engine with its worker-side context."""
+        # Thread workers share the parent's address space and need one
+        # scratch model per concurrent task; each process worker builds
+        # its own single-model context through the pool initializer.
+        num_models = (
+            self.execution.workers if self.execution.backend == "thread" else 1
+        )
+        return make_executor(
+            self.execution.backend,
+            self.execution.workers,
+            context=(
+                build_training_context,
+                (self.clients, self.model, num_models, self.retry_policy),
+            ),
+        )
+
+    def _collect_updates_parallel(
+        self,
+        t: int,
+        participants: List[int],
+        global_params: np.ndarray,
+        executor: Executor,
+    ) -> Dict[int, np.ndarray]:
+        """Fan the round's client computes across the executor.
+
+        Builds one :class:`~repro.parallel.rounds.ClientRoundTask` per
+        participant (carrying the client's RNG state), merges results in
+        participant order, and re-emits the per-client telemetry the
+        workers withheld — so the record *and* the counters are
+        identical to :meth:`_collect_updates_serial`.
+        """
+        telemetry = current_telemetry()
+        tasks: List[ClientRoundTask] = []
+        deadline: Optional[float] = None
+        for cid in participants:
+            fault = (
+                self.fault_plan.fault_at(t, cid)
+                if self.fault_plan is not None
+                else None
+            )
+            if telemetry.enabled and fault is not None:
+                telemetry.inc("fl_faults_injected_total", 1, kind=fault.kind)
+            corruption_rng = None
+            if fault is not None and fault.kind == "straggle" and deadline is None:
+                # members_at depends only on join/leave events, so the
+                # V2I deadline is round-invariant: compute it once.
+                deadline = self.fault_plan.deadline(
+                    max(1, len(self.server.ledger.members_at(t))),
+                    self.model.num_params,
+                )
+            if fault is not None and fault.kind == "corrupt":
+                corruption_rng = self.fault_plan.corruption_rng(t, cid)
+            tasks.append(
+                ClientRoundTask(
+                    client_id=cid,
+                    round_index=t,
+                    global_params=global_params,
+                    rng_state=self.clients[cid].rng.bit_generator.state,
+                    fault=fault,
+                    deadline=(
+                        deadline
+                        if fault is not None and fault.kind == "straggle"
+                        else None
+                    ),
+                    corruption_rng=corruption_rng,
+                )
+            )
+        fn = functools.partial(run_client_round, executor.context_key)
+        results, pool_stats = executor.run(fn, tasks)
+        updates: Dict[int, np.ndarray] = {}
+        busy_seconds = 0.0
+        for result in results:  # task order == participants order
+            cid = result.client_id
+            self.clients[cid].rng.bit_generator.state = result.rng_state
+            for key, delta in result.stats.items():
+                self.fault_stats[key] += delta
+            busy_seconds += result.duration_seconds
+            if telemetry.enabled:
+                telemetry.observe(
+                    "fl_client_update_seconds", result.duration_seconds
+                )
+                if result.stats["retries"]:
+                    telemetry.inc("faults_retries_total", result.stats["retries"])
+                if result.stats["gave_up"]:
+                    telemetry.inc("faults_giveups_total", result.stats["gave_up"])
+            if result.update is None:
+                _log.debug("round %d: client %d update lost", t, cid)
+                self.server.client_dropped_out(cid, t)
+                if telemetry.enabled:
+                    telemetry.inc("fl_dropouts_total")
+            else:
+                updates[cid] = result.update
+                if telemetry.enabled:
+                    telemetry.observe(
+                        "fl_client_update_bytes", result.update.nbytes
+                    )
+        if telemetry.enabled:
+            telemetry.observe(
+                "fl_parallel_dispatch_seconds", pool_stats.dispatch_seconds
+            )
+            telemetry.observe(
+                "fl_parallel_gather_seconds", pool_stats.gather_seconds
+            )
+            telemetry.set_gauge(
+                "fl_parallel_utilization",
+                pool_utilization(
+                    busy_seconds, executor.workers, pool_stats.wall_seconds
+                ),
+            )
+        return updates
+
+    # ------------------------------------------------------------------
     # journal plumbing
     # ------------------------------------------------------------------
     def _snapshot(self, accuracy_history: List[float]) -> JournalSnapshot:
@@ -337,55 +506,57 @@ class FederatedSimulation:
             start_round = self._restore(snapshot)
             accuracy_history = list(snapshot.accuracy_history)
         telemetry = current_telemetry()
-        for t in range(start_round, num_rounds):
-            with telemetry.span("fl_round_seconds"):
-                participants = self._sync_membership(t)
-                updates: Dict[int, np.ndarray] = {}
-                global_params = self.server.params
-                for cid in participants:
-                    fault = (
-                        self.fault_plan.fault_at(t, cid)
-                        if self.fault_plan is not None
-                        else None
+        executor: Optional[Executor] = None
+        try:
+            if self.execution.backend != "serial":
+                executor = self._make_executor()
+                if telemetry.enabled:
+                    telemetry.set_gauge(
+                        "fl_parallel_workers", self.execution.workers
                     )
-                    if telemetry.enabled and fault is not None:
-                        telemetry.inc("fl_faults_injected_total", 1, kind=fault.kind)
-                    try:
-                        with telemetry.span("fl_client_update_seconds"):
-                            update = self._compute_update(cid, t, global_params, fault)
-                    except ClientCrashError as exc:
-                        _log.debug("round %d: %s", t, exc)
-                        self.server.client_dropped_out(cid, t)
-                        if telemetry.enabled:
-                            telemetry.inc("fl_dropouts_total")
+            for t in range(start_round, num_rounds):
+                with telemetry.span("fl_round_seconds"):
+                    participants = self._sync_membership(t)
+                    global_params = self.server.params
+                    if executor is None:
+                        updates = self._collect_updates_serial(
+                            t, participants, global_params
+                        )
                     else:
-                        updates[cid] = update
-                        if telemetry.enabled:
-                            telemetry.observe("fl_client_update_bytes", update.nbytes)
-                if updates:
-                    new_params = self.server.run_round(updates)
-                else:
-                    # Sparse IoV rounds with no surviving update: the RSU idles.
-                    _log.debug("round %d: no usable updates, skipping", t)
-                    new_params = self.server.skip_round()
-                if telemetry.enabled:
-                    telemetry.inc("fl_rounds_total")
-                    telemetry.set_gauge("fl_participants", len(updates))
-            if self.test_set is not None and (
-                (t + 1) % self.eval_every == 0 or t + 1 == num_rounds
-            ):
-                self.model.set_flat_params(new_params)
-                acc = accuracy(self.model.predict(self.test_set.x), self.test_set.y)
-                accuracy_history.append(acc)
-                if telemetry.enabled:
-                    telemetry.set_gauge("fl_eval_accuracy", acc)
-                _log.info("round %d/%d test accuracy %.4f", t + 1, num_rounds, acc)
-            if round_callback is not None:
-                round_callback(t, new_params)
-            if journal is not None:
-                journal.commit(self._snapshot(accuracy_history))
-            if self.fault_plan is not None and self.fault_plan.kill_after(t):
-                raise ServerKilledError(t)
+                        updates = self._collect_updates_parallel(
+                            t, participants, global_params, executor
+                        )
+                    if updates:
+                        new_params = self.server.run_round(updates)
+                    else:
+                        # Sparse IoV rounds with no surviving update: the RSU idles.
+                        _log.debug("round %d: no usable updates, skipping", t)
+                        new_params = self.server.skip_round()
+                    if telemetry.enabled:
+                        telemetry.inc("fl_rounds_total")
+                        telemetry.set_gauge("fl_participants", len(updates))
+                if self.test_set is not None and (
+                    (t + 1) % self.eval_every == 0 or t + 1 == num_rounds
+                ):
+                    self.model.set_flat_params(new_params)
+                    acc = accuracy(
+                        self.model.predict(self.test_set.x), self.test_set.y
+                    )
+                    accuracy_history.append(acc)
+                    if telemetry.enabled:
+                        telemetry.set_gauge("fl_eval_accuracy", acc)
+                    _log.info(
+                        "round %d/%d test accuracy %.4f", t + 1, num_rounds, acc
+                    )
+                if round_callback is not None:
+                    round_callback(t, new_params)
+                if journal is not None:
+                    journal.commit(self._snapshot(accuracy_history))
+                if self.fault_plan is not None and self.fault_plan.kill_after(t):
+                    raise ServerKilledError(t)
+        finally:
+            if executor is not None:
+                executor.close()
         return TrainingRecord(
             checkpoints=self.server.checkpoints,
             gradients=self.server.gradients,

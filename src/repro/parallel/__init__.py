@@ -1,0 +1,71 @@
+"""Parallel execution engine for training and server-side recovery.
+
+The two hot loops of the reproduction — per-round client updates in
+:class:`~repro.fl.simulation.FederatedSimulation` and per-client Eq. 7
+estimation in :class:`~repro.unlearning.recovery.SignRecoveryUnlearner`
+— are embarrassingly parallel maps over clients.  This package supplies
+the engine that fans them out:
+
+- :mod:`repro.parallel.policy` — the process-wide default
+  backend/workers policy (``serial``/1 unless changed; the CLI's
+  ``--workers N --backend X`` sets it);
+- :mod:`repro.parallel.executor` — the pluggable ``serial`` /
+  ``thread`` / ``process`` executors with per-worker static contexts
+  and in-task-order result gathering;
+- :mod:`repro.parallel.rounds` / :mod:`repro.parallel.estimates` —
+  the picklable worker-side task bodies.
+
+The determinism guarantee: for the same seed, every backend produces
+**bitwise identical** training records and recovery outputs.  Each
+client computes on its own RNG stream (state round-tripped through the
+task), each concurrent task borrows a private scratch model, and the
+parent merges results in a fixed client order — so completion order
+can never leak into the numerics.  ``tests/test_parallel.py`` asserts
+this across backends, seeds, and active fault plans.
+"""
+
+from repro.parallel.estimates import EstimateResult, EstimateTask, run_estimate
+from repro.parallel.executor import (
+    Executor,
+    PoolStats,
+    get_context,
+    make_executor,
+    pool_utilization,
+)
+from repro.parallel.policy import (
+    BACKENDS,
+    ExecutionPolicy,
+    default_execution,
+    resolve_execution,
+    set_default_execution,
+)
+from repro.parallel.rounds import (
+    ClientRoundResult,
+    ClientRoundTask,
+    ModelPool,
+    TrainingContext,
+    build_training_context,
+    run_client_round,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ClientRoundResult",
+    "ClientRoundTask",
+    "EstimateResult",
+    "EstimateTask",
+    "ExecutionPolicy",
+    "Executor",
+    "ModelPool",
+    "PoolStats",
+    "TrainingContext",
+    "build_training_context",
+    "default_execution",
+    "get_context",
+    "make_executor",
+    "pool_utilization",
+    "resolve_execution",
+    "run_client_round",
+    "run_estimate",
+    "set_default_execution",
+]

@@ -4,7 +4,9 @@ per-round gradient/model history stores used by every unlearning method."""
 from repro.storage.sign_codec import (
     decode_gradient,
     encode_gradient,
+    encode_round,
     pack_signs,
+    pack_signs_batch,
     packed_size_bytes,
     storage_savings_ratio,
     ternarize,
@@ -25,8 +27,10 @@ __all__ = [
     "SignGradientStore",
     "decode_gradient",
     "encode_gradient",
+    "encode_round",
     "make_gradient_store",
     "pack_signs",
+    "pack_signs_batch",
     "packed_size_bytes",
     "storage_savings_ratio",
     "ternarize",

@@ -29,6 +29,7 @@ import numpy as np
 from repro.storage.sign_codec import (
     decode_gradient,
     encode_gradient,
+    encode_round,
     packed_size_bytes,
 )
 from repro.telemetry.core import current_telemetry
@@ -48,6 +49,19 @@ class GradientStore:
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         """Record ``gradient`` for ``client_id`` at ``round_index``."""
         raise NotImplementedError
+
+    def put_round(
+        self, round_index: int, updates: Dict[int, np.ndarray]
+    ) -> None:
+        """Record one whole round of ``client_id -> gradient`` updates.
+
+        Equivalent to calling :meth:`put` per client in the dict's
+        iteration order; backends may override it with a batched encode
+        (see :meth:`SignGradientStore.put_round`).  The server's round
+        commit goes through here.
+        """
+        for client_id, gradient in updates.items():
+            self.put(round_index, client_id, gradient)
 
     def get(self, round_index: int, client_id: int) -> np.ndarray:
         """Retrieve the stored representation as a float64 vector.
@@ -98,12 +112,18 @@ class FullGradientStore(GradientStore):
 
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], np.ndarray] = {}
+        self._nbytes = 0
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         telemetry = current_telemetry()
         with telemetry.span("storage_encode_seconds"):
             stored = np.asarray(gradient, dtype=np.float32).copy()
-        self._records[(round_index, client_id)] = stored
+        key = (round_index, client_id)
+        previous = self._records.get(key)
+        if previous is not None:
+            self._nbytes -= previous.nbytes
+        self._records[key] = stored
+        self._nbytes += stored.nbytes
         if telemetry.enabled:
             telemetry.inc(
                 "storage_encoded_elements_total", stored.size, backend="full"
@@ -139,11 +159,14 @@ class FullGradientStore(GradientStore):
         return sorted(self._records.items())
 
     def nbytes(self) -> int:
-        return int(sum(g.nbytes for g in self._records.values()))
+        # Maintained incrementally at put/drop time: O(1) instead of a
+        # full scan, which matters once per-round journaling polls it.
+        return int(self._nbytes)
 
     def drop_client(self, client_id: int) -> int:
         keys = [k for k in self._records if k[1] == client_id]
         for key in keys:
+            self._nbytes -= self._records[key].nbytes
             del self._records[key]
         return len(keys)
 
@@ -163,12 +186,20 @@ class SignGradientStore(GradientStore):
             raise ValueError(f"delta must be non-negative, got {delta}")
         self.delta = delta
         self._records: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
+        self._nbytes = 0
+
+    def _store(self, key: Tuple[int, int], packed: np.ndarray, length: int) -> None:
+        previous = self._records.get(key)
+        if previous is not None:
+            self._nbytes -= previous[0].nbytes
+        self._records[key] = (packed, length)
+        self._nbytes += packed.nbytes
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         telemetry = current_telemetry()
         with telemetry.span("storage_encode_seconds"):
             packed, length = encode_gradient(np.asarray(gradient).ravel(), self.delta)
-        self._records[(round_index, client_id)] = (packed, length)
+        self._store((round_index, client_id), packed, length)
         if telemetry.enabled:
             raw_bytes = length * 4  # float32 equivalent — the §IV baseline
             telemetry.inc("storage_encoded_elements_total", length, backend="sign")
@@ -177,6 +208,48 @@ class SignGradientStore(GradientStore):
             if raw_bytes:
                 telemetry.set_gauge(
                     "storage_compression_ratio", packed.nbytes / raw_bytes,
+                    backend="sign",
+                )
+
+    def put_round(self, round_index: int, updates: Dict[int, np.ndarray]) -> None:
+        """Batched round commit: one vectorized ternarize+pack pass.
+
+        Stacks the round's gradients into a ``(num_clients, d)`` matrix
+        and encodes them through
+        :func:`repro.storage.sign_codec.encode_round` — each stored row
+        is bitwise identical to what per-client :meth:`put` calls would
+        produce, and the telemetry counters advance by the same totals
+        (under a single ``storage_encode_seconds`` span).  Falls back to
+        per-client puts when the updates differ in length.
+        """
+        if not updates:
+            return
+        vectors = [np.asarray(g).ravel() for g in updates.values()]
+        if len({v.size for v in vectors}) != 1:
+            for client_id, gradient in updates.items():
+                self.put(round_index, client_id, gradient)
+            return
+        telemetry = current_telemetry()
+        with telemetry.span("storage_encode_seconds"):
+            packed_rows, length = encode_round(np.stack(vectors), self.delta)
+        for client_id, row in zip(updates, packed_rows):
+            # Row copies detach from the (n, bytes) batch matrix so a
+            # later drop_client actually frees the payload.
+            self._store((round_index, client_id), row.copy(), length)
+        if telemetry.enabled:
+            n = len(vectors)
+            raw_bytes = length * 4 * n  # float32 equivalent — the §IV baseline
+            telemetry.inc(
+                "storage_encoded_elements_total", length * n, backend="sign"
+            )
+            telemetry.inc(
+                "storage_put_bytes_total", packed_rows.nbytes, backend="sign"
+            )
+            telemetry.inc("storage_raw_bytes_total", raw_bytes, backend="sign")
+            if raw_bytes:
+                telemetry.set_gauge(
+                    "storage_compression_ratio",
+                    packed_rows.nbytes / raw_bytes,
                     backend="sign",
                 )
 
@@ -197,7 +270,7 @@ class SignGradientStore(GradientStore):
                 f"packed payload of {packed.size} bytes cannot hold {length} "
                 "2-bit elements"
             )
-        self._records[(round_index, client_id)] = (packed.copy(), int(length))
+        self._store((round_index, client_id), packed.copy(), int(length))
 
     def get(self, round_index: int, client_id: int) -> np.ndarray:
         key = (round_index, client_id)
@@ -225,11 +298,14 @@ class SignGradientStore(GradientStore):
         return sorted(self._records.items())
 
     def nbytes(self) -> int:
-        return int(sum(p.nbytes for p, _ in self._records.values()))
+        # Maintained incrementally by _store/drop_client: O(1) instead
+        # of a scan over every packed payload.
+        return int(self._nbytes)
 
     def drop_client(self, client_id: int) -> int:
         keys = [k for k in self._records if k[1] == client_id]
         for key in keys:
+            self._nbytes -= self._records[key][0].nbytes
             del self._records[key]
         return len(keys)
 
@@ -246,10 +322,16 @@ class ModelCheckpointStore:
 
     def __init__(self) -> None:
         self._checkpoints: Dict[int, np.ndarray] = {}
+        self._nbytes = 0
 
     def put(self, round_index: int, params: np.ndarray) -> None:
         """Record global model parameters at the *start* of ``round_index``."""
-        self._checkpoints[round_index] = np.asarray(params, dtype=np.float32).copy()
+        stored = np.asarray(params, dtype=np.float32).copy()
+        previous = self._checkpoints.get(round_index)
+        if previous is not None:
+            self._nbytes -= previous.nbytes
+        self._checkpoints[round_index] = stored
+        self._nbytes += stored.nbytes
 
     def get(self, round_index: int) -> np.ndarray:
         """Return ``w_t`` as float64; raises KeyError when absent."""
@@ -273,14 +355,15 @@ class ModelCheckpointStore:
         return r, self._checkpoints[r].astype(np.float64)
 
     def nbytes(self) -> int:
-        """Total checkpoint payload bytes."""
-        return int(sum(w.nbytes for w in self._checkpoints.values()))
+        """Total checkpoint payload bytes (maintained incrementally)."""
+        return int(self._nbytes)
 
     def prune(self, keep: Iterable[int]) -> int:
         """Drop all checkpoints except ``keep``; returns count removed."""
         keep_set = set(keep)
         drop = [r for r in self._checkpoints if r not in keep_set]
         for r in drop:
+            self._nbytes -= self._checkpoints[r].nbytes
             del self._checkpoints[r]
         return len(drop)
 

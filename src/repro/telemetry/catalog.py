@@ -98,6 +98,24 @@ _ALL_SPECS = [
         "Faults applied to client computes, by kind (crash/corrupt/straggle/flaky).",
         labels=("kind",),
     ),
+    _spec(
+        "fl_parallel_workers", GAUGE, "workers", "repro.fl.simulation",
+        "Worker slots of the round-loop execution pool (thread/process "
+        "backends only).",
+    ),
+    _spec(
+        "fl_parallel_dispatch_seconds", HISTOGRAM, "seconds", "repro.fl.simulation",
+        "Submission of one round's client tasks to the execution pool.",
+    ),
+    _spec(
+        "fl_parallel_gather_seconds", HISTOGRAM, "seconds", "repro.fl.simulation",
+        "In-order collection of one round's client results from the pool.",
+    ),
+    _spec(
+        "fl_parallel_utilization", GAUGE, "fraction", "repro.fl.simulation",
+        "Busy-time fraction of the pool over the latest round: "
+        "Σ task seconds / (workers × wall).",
+    ),
     # ----------------------------------------------------------------- fl.server
     _spec(
         "fl_aggregate_seconds", HISTOGRAM, "seconds", "repro.fl.server",
@@ -217,6 +235,27 @@ _ALL_SPECS = [
     _spec(
         "recovery_checkpoints_total", COUNTER, "checkpoints", "repro.unlearning.recovery",
         "Replay-state checkpoints committed to disk.",
+    ),
+    _spec(
+        "recovery_parallel_workers", GAUGE, "workers", "repro.unlearning.recovery",
+        "Worker slots of the recovery estimation pool (thread/process "
+        "backends only).",
+    ),
+    _spec(
+        "recovery_parallel_dispatch_seconds", HISTOGRAM, "seconds",
+        "repro.unlearning.recovery",
+        "Submission of one replay round's estimation tasks to the pool.",
+    ),
+    _spec(
+        "recovery_parallel_gather_seconds", HISTOGRAM, "seconds",
+        "repro.unlearning.recovery",
+        "In-order collection of one replay round's estimates from the pool.",
+    ),
+    _spec(
+        "recovery_parallel_utilization", GAUGE, "fraction",
+        "repro.unlearning.recovery",
+        "Busy-time fraction of the pool over the latest replay round: "
+        "Σ task seconds / (workers × wall).",
     ),
     # ---------------------------------------------------------------- faults.retry
     _spec(

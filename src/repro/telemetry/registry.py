@@ -11,10 +11,17 @@ the catalog (:mod:`repro.telemetry.catalog`) — unknown names, a kind
 mismatch, or label keys the spec does not declare raise ``KeyError`` /
 ``ValueError`` immediately, which is what keeps ``docs/METRICS.md``
 honest.
+
+Write paths are serialized by a lock so emissions from the parallel
+round loop's worker threads (or any other thread the host application
+runs) can never corrupt a series; reads of a single series take the
+same lock, while :meth:`MetricsRegistry.snapshot` gives a consistent
+cut across all of them.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricSpec
@@ -107,6 +114,7 @@ class MetricsRegistry:
     ):
         self.catalog = METRICS if catalog is None else catalog
         self.strict = strict
+        self._lock = threading.Lock()
         self._counters: Dict[str, Dict[_LabelKey, float]] = {}
         self._gauges: Dict[str, Dict[_LabelKey, float]] = {}
         self._histograms: Dict[str, Dict[_LabelKey, HistogramState]] = {}
@@ -140,28 +148,32 @@ class MetricsRegistry:
         if value < 0:
             raise ValueError(f"counter {name!r} cannot decrease (value {value})")
         self._check(name, COUNTER, labels)
-        series = self._counters.setdefault(name, {})
         key = _label_key(labels)
-        series[key] = series.get(key, 0.0) + value
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
 
     def set_gauge(
         self, name: str, value: float, labels: Optional[Dict[str, str]] = None
     ) -> None:
         """Set gauge ``name`` to ``value``."""
         self._check(name, GAUGE, labels)
-        self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
 
     def observe(
         self, name: str, value: float, labels: Optional[Dict[str, str]] = None
     ) -> None:
         """Fold one observation into histogram ``name``."""
         self._check(name, HISTOGRAM, labels)
-        series = self._histograms.setdefault(name, {})
         key = _label_key(labels)
-        state = series.get(key)
-        if state is None:
-            state = series[key] = HistogramState()
-        state.observe(float(value))
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            state = series.get(key)
+            if state is None:
+                state = series[key] = HistogramState()
+            state.observe(float(value))
 
     # ------------------------------------------------------------------
     # read side
@@ -170,13 +182,15 @@ class MetricsRegistry:
         self, name: str, labels: Optional[Dict[str, str]] = None
     ) -> float:
         """Current value of a counter series (0.0 if never incremented)."""
-        return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0.0)
 
     def gauge_value(
         self, name: str, labels: Optional[Dict[str, str]] = None
     ) -> Optional[float]:
         """Current value of a gauge series (None if never set)."""
-        return self._gauges.get(name, {}).get(_label_key(labels))
+        with self._lock:
+            return self._gauges.get(name, {}).get(_label_key(labels))
 
     def histogram(
         self, name: str, labels: Optional[Dict[str, str]] = None
@@ -211,17 +225,18 @@ class MetricsRegistry:
         """JSON-serializable dump of every series — the stable schema
         embedded into benchmark result records."""
         out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name, series in sorted(self._counters.items()):
-            out["counters"][name] = [
-                {"labels": dict(k), "value": v} for k, v in sorted(series.items())
-            ]
-        for name, series in sorted(self._gauges.items()):
-            out["gauges"][name] = [
-                {"labels": dict(k), "value": v} for k, v in sorted(series.items())
-            ]
-        for name, series in sorted(self._histograms.items()):
-            out["histograms"][name] = [
-                {"labels": dict(k), **state.as_dict()}
-                for k, state in sorted(series.items())
-            ]
+        with self._lock:
+            for name, series in sorted(self._counters.items()):
+                out["counters"][name] = [
+                    {"labels": dict(k), "value": v} for k, v in sorted(series.items())
+                ]
+            for name, series in sorted(self._gauges.items()):
+                out["gauges"][name] = [
+                    {"labels": dict(k), "value": v} for k, v in sorted(series.items())
+                ]
+            for name, series in sorted(self._histograms.items()):
+                out["histograms"][name] = [
+                    {"labels": dict(k), **state.as_dict()}
+                    for k, state in sorted(series.items())
+                ]
         return out

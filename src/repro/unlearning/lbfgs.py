@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.telemetry.core import current_telemetry
 
-__all__ = ["LbfgsBuffer", "lbfgs_hessian_dense"]
+__all__ = ["LbfgsBuffer", "compact_hvp", "lbfgs_hessian_dense"]
 
 _MIN_CURVATURE = 1e-12
 _MIN_NORM = 1e-12
@@ -154,22 +154,19 @@ class LbfgsBuffer:
             raise ValueError(
                 f"vector has {vector.size} elements, pairs have {dw.shape[0]}"
             )
-        a = dw.T @ dg  # (s, s)
-        lower = np.tril(a, k=-1)
-        d = np.diag(np.diag(a))
-        s = a.shape[0]
-        middle = np.zeros((2 * s, 2 * s))
-        middle[:s, :s] = -d
-        middle[:s, s:] = lower.T
-        middle[s:, :s] = lower
-        middle[s:, s:] = sigma * (dw.T @ dw)
-        rhs = np.concatenate([dg.T @ vector, sigma * (dw.T @ vector)])
-        try:
-            p = np.linalg.solve(middle, rhs)
-        except np.linalg.LinAlgError:
-            p, *_ = np.linalg.lstsq(middle, rhs, rcond=None)
-        wing = np.concatenate([dg, sigma * dw], axis=1)  # (d, 2s)
-        return sigma * vector - wing @ p
+        return compact_hvp(dw, dg, sigma, vector)
+
+    def compact_state(self) -> Optional[Tuple[np.ndarray, np.ndarray, float]]:
+        """The buffer's compact form ``(ΔW, ΔG, σ)``, or None when empty.
+
+        ``compact_hvp(ΔW, ΔG, σ, v)`` on this state equals
+        ``self.hvp(v)`` bitwise — it is the picklable snapshot the
+        parallel recovery path ships to workers so they run the exact
+        serial arithmetic on a copy of the buffer.
+        """
+        if self.is_empty:
+            return None
+        return self._matrices()
 
     def dense(self, dim: int) -> np.ndarray:
         """Materialize ``H̃`` as a (dim, dim) matrix — tests/small d only."""
@@ -177,6 +174,37 @@ class LbfgsBuffer:
             raise ValueError("refusing to materialize a Hessian larger than 4096²")
         eye = np.eye(dim)
         return np.stack([self.hvp(eye[:, j]) for j in range(dim)], axis=1)
+
+
+def compact_hvp(
+    delta_w: np.ndarray, delta_g: np.ndarray, sigma: float, vector: np.ndarray
+) -> np.ndarray:
+    """The compact-form Hessian-vector product ``H̃ · vector``.
+
+    The pure arithmetic core of Algorithm 2, shared by the serial path
+    (:meth:`LbfgsBuffer.hvp`) and the parallel recovery workers so both
+    produce bitwise-identical results.  ``delta_w``/``delta_g`` are the
+    stacked ``(d, s)`` pair matrices and ``sigma`` the (already
+    clamped) initial-curvature scalar — i.e. exactly what
+    :meth:`LbfgsBuffer.compact_state` returns.
+    """
+    dw, dg = delta_w, delta_g
+    a = dw.T @ dg  # (s, s)
+    lower = np.tril(a, k=-1)
+    d = np.diag(np.diag(a))
+    s = a.shape[0]
+    middle = np.zeros((2 * s, 2 * s))
+    middle[:s, :s] = -d
+    middle[:s, s:] = lower.T
+    middle[s:, :s] = lower
+    middle[s:, s:] = sigma * (dw.T @ dw)
+    rhs = np.concatenate([dg.T @ vector, sigma * (dw.T @ vector)])
+    try:
+        p = np.linalg.solve(middle, rhs)
+    except np.linalg.LinAlgError:
+        p, *_ = np.linalg.lstsq(middle, rhs, rcond=None)
+    wing = np.concatenate([dg, sigma * dw], axis=1)  # (d, 2s)
+    return sigma * vector - wing @ p
 
 
 def lbfgs_hessian_dense(

@@ -39,6 +39,15 @@ of the replay window (``recovery_progress``) and the Eq. 6 displacement
 ``‖w̄_t − w_t‖₂`` (``recovery_displacement_norm``).  The per-estimate
 clip rate and drift come from
 :mod:`repro.unlearning.estimator` — see ``docs/METRICS.md``.
+
+Parallel recovery: with ``backend="thread"``/``"process"`` the
+per-client Eq. 6 HVP + Eq. 7 clip fan out through
+:mod:`repro.parallel`.  Each worker gets a snapshot of the client's
+compact L-BFGS state and the round's shared displacement, runs the
+exact serial arithmetic, and the parent does all estimator bookkeeping
+and telemetry from the returned numbers — so the recovered parameters
+are **bitwise identical to the serial run** and the pool reports its
+shape and timing via ``recovery_parallel_*``.
 """
 
 from __future__ import annotations
@@ -52,6 +61,9 @@ from repro.fl.aggregation import AGGREGATORS
 from repro.fl.client import VehicleClient
 from repro.fl.history import TrainingRecord
 from repro.nn.model import Sequential
+from repro.parallel.estimates import EstimateTask, run_estimate
+from repro.parallel.executor import Executor, make_executor, pool_utilization
+from repro.parallel.policy import resolve_execution
 from repro.unlearning.backtrack import backtrack
 from repro.unlearning.base import (
     ModelFactory,
@@ -92,6 +104,12 @@ class SignRecoveryUnlearner(UnlearningMethod):
         is removed on successful completion.
     checkpoint_every:
         Replay rounds between checkpoints.
+    backend, workers:
+        Execution engine for the per-client estimation fan-out
+        (``serial``/``thread``/``process``); None falls back to the
+        process-wide default from
+        :func:`repro.parallel.policy.default_execution`.  Every backend
+        recovers bitwise-identical parameters.
     """
 
     name = "ours"
@@ -104,6 +122,8 @@ class SignRecoveryUnlearner(UnlearningMethod):
         round_callback: Optional[Callable[[int, np.ndarray], None]] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 5,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         if refresh_period < 1:
             raise ValueError("refresh_period must be >= 1")
@@ -115,6 +135,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
         self.round_callback = round_callback
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.execution = resolve_execution(backend, workers)
 
     # ------------------------------------------------------------------
     def _seed_estimators(
@@ -171,6 +192,75 @@ class SignRecoveryUnlearner(UnlearningMethod):
                         continue
             estimators[cid] = est
         return estimators
+
+    # ------------------------------------------------------------------
+    def _estimate_parallel(
+        self,
+        executor: Executor,
+        present: List[Tuple[int, np.ndarray]],
+        estimators: Dict[int, GradientEstimator],
+        recovered: np.ndarray,
+        historical: np.ndarray,
+        record: TrainingRecord,
+        refresh_now: bool,
+    ) -> Tuple[List[np.ndarray], List[float]]:
+        """Fan one round's Eq. 6/7 steps across the executor.
+
+        Snapshots each client's compact L-BFGS state *before* dispatch
+        (the serial loop also estimates from pre-refresh state), merges
+        results in participant order, and performs the estimator
+        bookkeeping, refresh seeding, and telemetry re-emission the
+        workers withheld — so counters and recovered parameters match
+        the serial path exactly.
+        """
+        telemetry = current_telemetry()
+        displacement_vec = (
+            np.asarray(recovered, dtype=np.float64).ravel()
+            - np.asarray(historical, dtype=np.float64).ravel()
+        )
+        tasks = [
+            EstimateTask(
+                client_id=cid,
+                stored=stored,
+                state=estimators[cid].buffer.compact_state(),
+                displacement=displacement_vec,
+                clip_threshold=self.clip_threshold,
+            )
+            for cid, stored in present
+        ]
+        results, pool_stats = executor.run(run_estimate, tasks)
+        estimates: List[np.ndarray] = []
+        weights: List[float] = []
+        busy_seconds = 0.0
+        for (cid, stored), result in zip(present, results):
+            estimators[cid].estimates_made += 1
+            busy_seconds += result.duration_seconds
+            if telemetry.enabled:
+                telemetry.inc("lbfgs_hvp_total")
+                telemetry.observe("lbfgs_hvp_seconds", result.hvp_seconds)
+                if result.estimate.size:
+                    telemetry.observe("recovery_clip_rate", result.clip_rate)
+                    telemetry.observe("recovery_estimate_drift", result.drift)
+            estimates.append(result.estimate)
+            weights.append(record.weight_of(cid))
+            if refresh_now:
+                estimators[cid].seed_pair(
+                    recovered - historical, result.estimate - stored
+                )
+        if telemetry.enabled:
+            telemetry.observe(
+                "recovery_parallel_dispatch_seconds", pool_stats.dispatch_seconds
+            )
+            telemetry.observe(
+                "recovery_parallel_gather_seconds", pool_stats.gather_seconds
+            )
+            telemetry.set_gauge(
+                "recovery_parallel_utilization",
+                pool_utilization(
+                    busy_seconds, executor.workers, pool_stats.wall_seconds
+                ),
+            )
+        return estimates, weights
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -338,66 +428,105 @@ class SignRecoveryUnlearner(UnlearningMethod):
             if checkpoint_due(t):
                 commit(t)
 
-        for t in range(start_round, record.num_rounds):
-            with telemetry.span("recovery_round_seconds"):
-                participants = [
-                    cid
-                    for cid in record.ledger.participants_at(t)
-                    if cid not in forget_set
-                ]
-                if not participants:
-                    # Only forgotten clients contributed at t originally; the
-                    # remaining-clients counterfactual has no update this round.
-                    skip(t)
-                    continue
-                try:
-                    historical = record.params_at(t)
-                except Exception:
-                    # Damaged record: without w_t neither Eq. 6's displacement
-                    # nor the refresh pairs exist — skip the round, keep going.
-                    skip(t, missing_checkpoint=True)
-                    continue
-                estimates: List[np.ndarray] = []
-                weights: List[float] = []
-                refresh_now = (t - forget_round + 1) % self.refresh_period == 0
-                round_missing = 0
-                for cid in participants:
-                    try:
-                        stored = record.gradients.get(t, cid)
-                    except Exception:
-                        # Missing/undecodable entry: the client contributes
-                        # nothing this round, like a historical dropout.
-                        missing_entries += 1
-                        round_missing += 1
-                        continue
-                    estimate = estimators[cid].estimate(stored, recovered, historical)
-                    estimates.append(estimate)
-                    weights.append(record.weight_of(cid))
-                    if refresh_now:
-                        estimators[cid].seed_pair(
-                            recovered - historical, estimate - stored
-                        )
-                if telemetry.enabled and round_missing:
-                    telemetry.inc("recovery_missing_entries_total", round_missing)
-                if not estimates:
-                    skip(t)
-                    continue
-                displacement = float(np.linalg.norm(recovered - historical))
-                displacement_norms.append(displacement)
-                recovered = recovered - record.learning_rate * aggregate(
-                    estimates, weights
+        executor: Optional[Executor] = None
+        try:
+            if self.execution.backend != "serial":
+                # Estimation tasks are self-contained (compact L-BFGS
+                # state + displacement travel in the task), so no worker
+                # context is needed.
+                executor = make_executor(
+                    self.execution.backend, self.execution.workers
                 )
-                rounds_replayed += 1
                 if telemetry.enabled:
-                    telemetry.inc("recovery_rounds_total")
-                    telemetry.set_gauge("recovery_displacement_norm", displacement)
                     telemetry.set_gauge(
-                        "recovery_progress", (t - forget_round + 1) / replay_window
+                        "recovery_parallel_workers", self.execution.workers
                     )
-                if checkpoint_due(t):
-                    commit(t)
-            if self.round_callback is not None:
-                self.round_callback(t, recovered.copy())
+            for t in range(start_round, record.num_rounds):
+                with telemetry.span("recovery_round_seconds"):
+                    participants = [
+                        cid
+                        for cid in record.ledger.participants_at(t)
+                        if cid not in forget_set
+                    ]
+                    if not participants:
+                        # Only forgotten clients contributed at t originally; the
+                        # remaining-clients counterfactual has no update this round.
+                        skip(t)
+                        continue
+                    try:
+                        historical = record.params_at(t)
+                    except Exception:
+                        # Damaged record: without w_t neither Eq. 6's displacement
+                        # nor the refresh pairs exist — skip the round, keep going.
+                        skip(t, missing_checkpoint=True)
+                        continue
+                    present: List[Tuple[int, np.ndarray]] = []
+                    round_missing = 0
+                    for cid in participants:
+                        try:
+                            stored = record.gradients.get(t, cid)
+                        except Exception:
+                            # Missing/undecodable entry: the client contributes
+                            # nothing this round, like a historical dropout.
+                            missing_entries += 1
+                            round_missing += 1
+                            continue
+                        present.append((cid, stored))
+                    if telemetry.enabled and round_missing:
+                        telemetry.inc(
+                            "recovery_missing_entries_total", round_missing
+                        )
+                    if not present:
+                        skip(t)
+                        continue
+                    estimates: List[np.ndarray] = []
+                    weights: List[float] = []
+                    refresh_now = (
+                        t - forget_round + 1
+                    ) % self.refresh_period == 0
+                    if executor is None:
+                        for cid, stored in present:
+                            estimate = estimators[cid].estimate(
+                                stored, recovered, historical
+                            )
+                            estimates.append(estimate)
+                            weights.append(record.weight_of(cid))
+                            if refresh_now:
+                                estimators[cid].seed_pair(
+                                    recovered - historical, estimate - stored
+                                )
+                    else:
+                        estimates, weights = self._estimate_parallel(
+                            executor,
+                            present,
+                            estimators,
+                            recovered,
+                            historical,
+                            record,
+                            refresh_now,
+                        )
+                    displacement = float(np.linalg.norm(recovered - historical))
+                    displacement_norms.append(displacement)
+                    recovered = recovered - record.learning_rate * aggregate(
+                        estimates, weights
+                    )
+                    rounds_replayed += 1
+                    if telemetry.enabled:
+                        telemetry.inc("recovery_rounds_total")
+                        telemetry.set_gauge(
+                            "recovery_displacement_norm", displacement
+                        )
+                        telemetry.set_gauge(
+                            "recovery_progress",
+                            (t - forget_round + 1) / replay_window,
+                        )
+                    if checkpoint_due(t):
+                        commit(t)
+                if self.round_callback is not None:
+                    self.round_callback(t, recovered.copy())
+        finally:
+            if executor is not None:
+                executor.close()
 
         if self.checkpoint_dir is not None and os.path.exists(self._checkpoint_path()):
             os.remove(self._checkpoint_path())

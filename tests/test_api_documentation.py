@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.fl",
     "repro.iov",
     "repro.nn",
+    "repro.parallel",
     "repro.storage",
     "repro.telemetry",
     "repro.unlearning",
