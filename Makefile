@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-parallel examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,12 @@ bench-smoke:
 # CPU count recorded into benchmarks/results/parallel.json).
 bench-parallel:
 	pytest benchmarks/test_bench_parallel.py --benchmark-only
+
+# Zero-copy numeric-core baseline: warm-step latency (legacy-emulated
+# vs arena, >=1.5x asserted), per-step allocation bytes and end-to-end
+# train+recover wall clock into benchmarks/results/core_numeric.json.
+bench-core:
+	pytest benchmarks/test_bench_core.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,189 @@
+"""Tracked baseline for the zero-copy numeric core.
+
+Measures one *warm* train step (parameters already set, scratch buffers
+already allocated) two ways on the same model:
+
+- **legacy-emulated**: the exact pre-arena data path — flat vector
+  unflattened into per-layer copies, per-ref assignment, forward +
+  backward, gradients re-concatenated with ``flatten_arrays``, and an
+  allocating ``w - lr * g`` update;
+- **arena**: the current path — the backward pass leaves the flat
+  gradient in the arena (``loss_and_flat_grad_view``) and the fused
+  in-place ``SGD.step_`` updates the arena's flat parameter buffer
+  directly.  No external flat vector exists: that round-trip is the
+  thing the arena deleted.
+
+Both run the identical forward/backward compute, so the ratio isolates
+what the arena removed: the flatten/unflatten round-trips and the
+allocating vector algebra.  Per-step allocation footprints (tracemalloc
+peak deltas) and an end-to-end train + recover wall-clock are recorded
+alongside into ``results/core_numeric.json``.
+
+The ≥1.5× warm-step speedup is asserted at every scale — it measures
+the code path, not the host's core count — with both medians recorded
+so the baseline tracks each substrate it runs on.
+"""
+
+import statistics
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_synthetic_mnist, partition_iid, train_test_split
+from repro.fl import FederatedSimulation, ParticipationSchedule, VehicleClient
+from repro.nn import SGD, mlp
+from repro.storage import SignGradientStore
+from repro.unlearning import SignRecoveryUnlearner
+from repro.utils.flat import flatten_arrays, unflatten_vector
+from repro.utils.rng import SeedSequenceTree
+
+# Sized so the flat vector (~320k params, ~2.6 MB) dominates the cost
+# of the batch-4 forward/backward — the regime the arena targets —
+# while the unavoidable per-step transient (the input-gradient of the
+# first Dense layer, batch x in_features) stays under the 1 MB guard.
+IN_FEATURES = 20000
+HIDDEN = 16
+CLASSES = 10
+BATCH = 4
+LR = 1e-3
+STEPS = 30
+SEED = 99
+
+
+def _workload():
+    model = mlp(np.random.default_rng(SEED), IN_FEATURES, CLASSES, hidden=HIDDEN)
+    rng = np.random.default_rng(SEED + 1)
+    x = rng.normal(size=(BATCH, IN_FEATURES))
+    y = rng.integers(0, CLASSES, size=BATCH)
+    return model, x, y
+
+
+def _legacy_step(model, w, x, y):
+    """The pre-arena train step, arithmetic and copies reproduced."""
+    arrays = unflatten_vector(w, model._param_shapes)
+    for ref, new in zip(model._param_refs(), arrays):
+        ref[...] = new
+    logits = model.forward(x, training=True)
+    _, dlogits = model.loss.forward(logits, y)
+    grad = dlogits
+    for layer in reversed(model.layers):
+        grad = layer.backward(grad)
+    flat = flatten_arrays(model._grad_refs())
+    return w - LR * flat
+
+
+def _arena_step(model, x, y, opt):
+    """The arena train step: parameters live in the arena and are
+    stepped in place — no flat-vector round-trip exists anymore."""
+    _, gview = model.loss_and_flat_grad_view(x, y)
+    return opt.step_(model.arena.w, gview)
+
+
+def _median_seconds(step, warmup=3, rounds=STEPS):
+    for _ in range(warmup):
+        step()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        step()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _alloc_peak(step, warmup=3):
+    """Peak tracemalloc delta of one warm invocation of ``step``."""
+    for _ in range(warmup):
+        step()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        before, _ = tracemalloc.get_traced_memory()
+        step()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak - before)
+
+
+def _train_and_recover_seconds():
+    """End-to-end wall clock: a small federated run plus its recovery."""
+    tree = SeedSequenceTree(SEED)
+    data = make_synthetic_mnist(400, tree.rng("data"), image_size=8)
+    train, _ = train_test_split(data, 0.2, tree.rng("split"))
+    shards = partition_iid(train, 6, tree.rng("part"))
+    clients = [
+        VehicleClient(i, shards[i], tree.rng(f"c{i}"), batch_size=32)
+        for i in range(6)
+    ]
+    model = mlp(tree.rng("model"), 64, 10, hidden=16)
+    schedule = ParticipationSchedule.with_events(range(6), joins={2: 5})
+    sim = FederatedSimulation(
+        model,
+        clients,
+        2e-3,
+        schedule=schedule,
+        gradient_store=SignGradientStore(),
+    )
+    start = time.perf_counter()
+    record = sim.run(15)
+    train_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    SignRecoveryUnlearner(refresh_period=4).unlearn(record, [2], model)
+    recover_seconds = time.perf_counter() - start
+    return train_seconds, recover_seconds
+
+
+@pytest.mark.benchmark(group="core")
+def test_warm_step_speedup_and_allocations(benchmark, save_result):
+    """Arena warm step must beat the legacy-emulated step by ≥1.5×."""
+    model, x, y = _workload()
+    d = model.num_params
+    opt = SGD(LR)
+
+    legacy_state = {"w": model.get_flat_params()}
+
+    def legacy():
+        legacy_state["w"] = _legacy_step(model, legacy_state["w"], x, y)
+
+    def arena():
+        _arena_step(model, x, y, opt)
+
+    legacy_seconds = _median_seconds(legacy)
+    legacy_alloc = _alloc_peak(legacy)
+    arena_alloc = _alloc_peak(arena)
+
+    def arena_run():
+        return _median_seconds(arena, warmup=0)
+
+    arena_seconds = benchmark.pedantic(arena_run, rounds=1, iterations=1)
+    speedup = legacy_seconds / max(arena_seconds, 1e-12)
+
+    train_seconds, recover_seconds = _train_and_recover_seconds()
+
+    save_result(
+        "core_numeric",
+        {
+            "model_params": int(d),
+            "flat_vector_bytes": int(d * 8),
+            "batch_size": BATCH,
+            "steps_timed": STEPS,
+            "legacy_step_seconds_median": legacy_seconds,
+            "arena_step_seconds_median": arena_seconds,
+            "warm_step_speedup": speedup,
+            "legacy_step_alloc_peak_bytes": legacy_alloc,
+            "arena_step_alloc_peak_bytes": arena_alloc,
+            "train_seconds": train_seconds,
+            "recover_seconds": recover_seconds,
+        },
+    )
+
+    # The legacy path materializes several full flat vectors per step;
+    # the arena path allocates (almost) nothing once warm.
+    assert legacy_alloc > d * 8
+    assert arena_alloc < 1024 * 1024
+    assert speedup >= 1.5, (
+        f"warm-step speedup {speedup:.2f}x below the 1.5x floor "
+        f"(legacy {legacy_seconds * 1e3:.2f} ms, arena {arena_seconds * 1e3:.2f} ms)"
+    )

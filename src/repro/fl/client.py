@@ -109,17 +109,21 @@ class VehicleClient:
         model.set_flat_params(global_params)
         if self.local_steps == 1:
             xb, yb = self.dataset.sample_batch(self.batch_size, self.rng)
-            _, grad = model.loss_and_flat_grad(xb, yb)
+            # The gradient stays in the model's arena; the only copy made
+            # is the float64 update the client actually reports.
+            _, gview = model.loss_and_flat_grad_view(xb, yb)
             if self.reduction == "sum":
-                grad = grad * xb.shape[0]
-            return grad
+                return np.multiply(gview, xb.shape[0], dtype=np.float64)
+            return gview.astype(np.float64)
         assert self.local_lr is not None
         params = np.asarray(global_params, dtype=np.float64).copy()
+        step = np.empty_like(params)
         for _ in range(self.local_steps):
             xb, yb = self.dataset.sample_batch(self.batch_size, self.rng)
             model.set_flat_params(params)
-            _, grad = model.loss_and_flat_grad(xb, yb)
-            params = params - self.local_lr * grad
+            _, gview = model.loss_and_flat_grad_view(xb, yb)
+            np.multiply(gview, self.local_lr, out=step)
+            np.subtract(params, step, out=params)
         return (np.asarray(global_params, dtype=np.float64) - params) / self.local_lr
 
     def full_gradient(
@@ -134,12 +138,14 @@ class VehicleClient:
         """
         model.set_flat_params(global_params)
         total = np.zeros(model.num_params, dtype=np.float64)
+        scratch = np.empty_like(total)
         n = len(self.dataset)
         for start in range(0, n, batch_size):
             xb = self.dataset.x[start : start + batch_size]
             yb = self.dataset.y[start : start + batch_size]
-            _, grad = model.loss_and_flat_grad(xb, yb)
-            total += grad * xb.shape[0]
+            _, gview = model.loss_and_flat_grad_view(xb, yb)
+            np.multiply(gview, xb.shape[0], out=scratch)
+            total += scratch
         if self.reduction == "sum":
             # Match compute_update's scale: a batch-sum gradient over a
             # nominal batch, i.e. mean gradient x batch_size.

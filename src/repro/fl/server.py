@@ -20,6 +20,7 @@ import numpy as np
 from repro.faults.validation import QuarantineEvent, UpdateValidator
 from repro.fl.aggregation import AGGREGATORS
 from repro.fl.membership import MembershipLedger
+from repro.nn.optim import SGD
 from repro.storage.store import (
     GradientStore,
     ModelCheckpointStore,
@@ -74,6 +75,7 @@ class RsuServer:
             )
         self.params = np.asarray(initial_params, dtype=np.float64).copy()
         self.learning_rate = learning_rate
+        self._opt = SGD(learning_rate)
         self.aggregator_name = aggregator
         self._aggregate = AGGREGATORS[aggregator]
         self.round_index = 0
@@ -175,7 +177,9 @@ class RsuServer:
             gradients = [accepted[cid] for cid in ordered]
             weights = [self.client_sizes[cid] for cid in ordered]
             aggregated = self._aggregate(gradients, weights)
-            self.params = self.params - self.learning_rate * aggregated
+            # Eq. 2 applied in place (checkpoints/journal always copy, so
+            # no stored round state aliases the live vector).
+            self._opt.step_(self.params, aggregated)
             self.round_index = t + 1
             self.checkpoints.put(self.round_index, self.params)
             return self.params.copy()

@@ -164,7 +164,7 @@ class FederatedSimulation:
         if fault_plan is not None and validator is None:
             validator = UpdateValidator()
         self.server = RsuServer(
-            initial_params=model.get_flat_params(),
+            initial_params=model.get_flat_params_view(),
             learning_rate=learning_rate,
             gradient_store=gradient_store,
             aggregator=aggregator,

@@ -12,11 +12,13 @@ Public surface
 - layers: :class:`Dense`, :class:`Conv2d`, :class:`MaxPool2d`,
   :class:`ReLU`, :class:`Tanh`, :class:`Flatten`, :class:`Dropout`
 - container: :class:`Sequential`
+- memory: :class:`ParameterArena`, :class:`Workspace`
 - loss: :class:`SoftmaxCrossEntropy`
 - optimizer: :class:`SGD`
 - model zoo: :func:`mnist_cnn`, :func:`gtsrb_cnn`, :func:`mlp`
 """
 
+from repro.nn.arena import ParameterArena, Workspace
 from repro.nn.layers import (
     Conv2d,
     Dense,
@@ -40,11 +42,13 @@ __all__ = [
     "Flatten",
     "Layer",
     "MaxPool2d",
+    "ParameterArena",
     "ReLU",
     "SGD",
     "Sequential",
     "SoftmaxCrossEntropy",
     "Tanh",
+    "Workspace",
     "accuracy",
     "gtsrb_cnn",
     "mlp",

@@ -1,0 +1,145 @@
+"""Contiguous parameter/gradient arenas and reusable scratch workspaces.
+
+The flat-vector algebra of the paper (aggregation Eq. 1/2, backtracking
+Eq. 5, L-BFGS recovery Eq. 6/7) lives in ``R^d``, but the layers hold
+parameters as a list of shaped arrays.  Before the arena, every
+transition between the two representations was a full copy of the model
+— ``flatten_arrays`` / ``unflatten_vector`` round-trips on every client
+of every round.
+
+:class:`ParameterArena` removes the transition entirely: it owns ONE
+flat parameter buffer ``w`` and ONE flat gradient buffer ``g``, carved
+into reshaped *views* (one per layer parameter, in flatten order).
+Layers adopt the views as their ``weight``/``bias``/``grad_*`` arrays,
+so after binding:
+
+- the flat vector and the layer arrays are the *same memory*;
+- ``get_flat_params`` is a single ``copy()`` of ``w``;
+- ``set_flat_params`` is a single ``np.copyto`` into ``w``;
+- the flat gradient after a backward pass already exists in ``g`` — no
+  concatenation ever happens again.
+
+:class:`Workspace` is the companion for the *transient* hot-path
+buffers (im2col patch matrices, col2im accumulators, pooling masks):
+a shape-keyed pool of scratch arrays that steady-state forward/backward
+passes reuse instead of reallocating.  Workspace contents are pure
+scratch — they are deliberately dropped on ``deepcopy``/``pickle`` so
+scratch models (:class:`~repro.parallel.rounds.ModelPool`) and process
+workers start with empty pools instead of shipping dead buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.flat import total_size, unflatten_views
+
+__all__ = ["ParameterArena", "Workspace"]
+
+
+class ParameterArena:
+    """One flat parameter buffer + one flat gradient buffer for a model.
+
+    Parameters
+    ----------
+    shapes:
+        Per-parameter shapes in flatten order (layer order, each layer's
+        ``params()`` order) — the same order
+        :func:`repro.utils.flat.flatten_arrays` would use.
+    dtype:
+        Element dtype of both buffers.  ``float64`` (default) preserves
+        the bitwise-determinism contract; ``float32`` is the opt-in
+        compute policy (flat-vector algebra outside the arena stays
+        float64 — see :class:`repro.nn.model.Sequential`).
+    """
+
+    def __init__(self, shapes: Sequence[Tuple[int, ...]], dtype=np.float64):
+        self.shapes: List[Tuple[int, ...]] = [tuple(s) for s in shapes]
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"arena dtype must be floating, got {self.dtype}")
+        self.size = total_size(self.shapes)
+        self.w = np.zeros(self.size, dtype=self.dtype)
+        self.g = np.zeros(self.size, dtype=self.dtype)
+        self.param_views = unflatten_views(self.w, self.shapes)
+        self.grad_views = unflatten_views(self.g, self.shapes)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the two flat buffers."""
+        return int(self.w.nbytes + self.g.nbytes)
+
+    def readonly_params(self) -> np.ndarray:
+        """A read-only view of the flat parameter buffer (zero-copy)."""
+        view = self.w.view()
+        view.flags.writeable = False
+        return view
+
+    def readonly_grads(self) -> np.ndarray:
+        """A read-only view of the flat gradient buffer (zero-copy)."""
+        view = self.g.view()
+        view.flags.writeable = False
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParameterArena(d={self.size}, dtype={self.dtype.name})"
+
+
+class Workspace:
+    """Shape-keyed pool of reusable scratch buffers.
+
+    ``get(name, shape, dtype)`` returns the cached buffer for that
+    ``(name, shape, dtype)`` key, allocating it on first use.  Callers
+    own the *contents* only until their next ``get`` of the same key —
+    buffers are scratch, never long-term storage.
+
+    ``zero=True`` zeroes the buffer only when it is first allocated
+    (for buffers whose border must be zero but whose interior is
+    overwritten every call, e.g. the im2col padded image).
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def get(
+        self,
+        name: Hashable,
+        shape: Tuple[int, ...],
+        dtype=np.float64,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """Return the cached buffer for ``(name, shape, dtype)``,
+        allocating (zeroed iff ``zero``) on first use."""
+        key = (name, tuple(shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = (
+                np.zeros(key[1], dtype=key[2])
+                if zero
+                else np.empty(key[1], dtype=key[2])
+            )
+            self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Release every cached buffer."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the pool."""
+        return int(sum(b.nbytes for b in self._buffers.values()))
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    # Scratch never travels: fresh empty pools for copies and workers.
+    def __deepcopy__(self, memo) -> "Workspace":
+        return Workspace()
+
+    def __reduce__(self):
+        return (Workspace, ())

@@ -7,21 +7,31 @@ Design notes
 - Each layer owns its parameters and gradient buffers as plain NumPy
   arrays.  :meth:`Layer.params` and :meth:`Layer.grads` return *live
   references* so the :class:`~repro.nn.model.Sequential` container can
-  flatten and overwrite them in place.
+  flatten and overwrite them in place.  When a layer is placed in a
+  ``Sequential``, the container carves one contiguous
+  :class:`~repro.nn.arena.ParameterArena` and the layer *adopts* views
+  into it (:meth:`Layer.adopt_views`) — from then on the layer's
+  ``weight``/``bias``/``grad_*`` arrays ARE slices of the model's flat
+  parameter/gradient vectors.
 - ``backward`` consumes the upstream gradient and both (a) stores the
   parameter gradients and (b) returns the gradient with respect to the
   layer input.
 - Convolution uses the im2col/col2im transform so the inner loop is a
   single BLAS matmul — the only way a pure-NumPy CNN is fast enough for
-  hundred-round federated experiments.
+  hundred-round federated experiments.  The large patch matrices and
+  accumulators are drawn from a per-layer :class:`~repro.nn.arena.Workspace`
+  keyed by input shape, so steady-state training performs no large
+  allocations; buffers returned from ``backward`` may alias workspace
+  scratch and are only valid until the layer's next pass.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.arena import Workspace
 from repro.nn.init import he_normal, zeros
 
 __all__ = [
@@ -42,16 +52,52 @@ class Layer:
     """Base class for all layers.
 
     Subclasses implement :meth:`forward` and :meth:`backward`;
-    parameterized layers also override :meth:`params` / :meth:`grads`.
+    parameterized layers declare their parameter attributes in
+    ``_param_attrs`` (each ``name`` pairs with a ``grad_<name>``
+    buffer), which drives :meth:`params`, :meth:`grads` and arena
+    adoption.
     """
+
+    _param_attrs: Tuple[str, ...] = ()
 
     def params(self) -> List[np.ndarray]:
         """Live references to this layer's parameter arrays."""
-        return []
+        return [getattr(self, name) for name in self._param_attrs]
 
     def grads(self) -> List[np.ndarray]:
         """Live references to this layer's gradient arrays (same order)."""
-        return []
+        return [getattr(self, f"grad_{name}") for name in self._param_attrs]
+
+    def adopt_views(
+        self,
+        param_views: Sequence[np.ndarray],
+        grad_views: Sequence[np.ndarray],
+    ) -> None:
+        """Rebind parameters/gradients onto pre-carved arena views.
+
+        Copies the current values into the views (so initialization —
+        and any trained state — survives the rebind bitwise), then
+        swaps the layer's attributes to the views.  Called by
+        :class:`~repro.nn.model.Sequential` when it builds its arena.
+        """
+        if len(param_views) != len(self._param_attrs) or len(grad_views) != len(
+            self._param_attrs
+        ):
+            raise ValueError(
+                f"{type(self).__name__} has {len(self._param_attrs)} parameters, "
+                f"got {len(param_views)} param / {len(grad_views)} grad views"
+            )
+        for name, pview, gview in zip(self._param_attrs, param_views, grad_views):
+            current = getattr(self, name)
+            if pview.shape != current.shape or gview.shape != current.shape:
+                raise ValueError(
+                    f"view shape mismatch for {type(self).__name__}.{name}: "
+                    f"{pview.shape} vs {current.shape}"
+                )
+            np.copyto(pview, current, casting="same_kind")
+            np.copyto(gview, getattr(self, f"grad_{name}"), casting="same_kind")
+            setattr(self, name, pview)
+            setattr(self, f"grad_{name}", gview)
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Compute the layer output; ``training=True`` caches state for
@@ -70,13 +116,24 @@ class Layer:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    workspace: Optional[Workspace] = None,
+    tag: str = "",
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold image batch ``x`` (NCHW) into a patch matrix.
 
     Returns ``(col, out_h, out_w)`` where ``col`` has shape
     ``(N * out_h * out_w, C * kh * kw)``: one row per output spatial
     position, one column per kernel tap.
+
+    With a ``workspace``, the padded image, the 6-D gather buffer and
+    the returned patch matrix are drawn from it (keyed by ``tag`` and
+    input shape) instead of being allocated — the returned array is
+    then workspace scratch, valid until the next same-shape call.
     """
     n, c, h, w = x.shape
     out_h = (h + 2 * pad - kh) // stride + 1
@@ -85,14 +142,41 @@ def im2col(
         raise ValueError(
             f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) too large for input {h}x{w}"
         )
-    img = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    if workspace is None:
+        img = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+        col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    else:
+        if pad:
+            # Border stays zero from allocation; only the interior is
+            # rewritten each call.
+            img = workspace.get(
+                (tag, "im2col_img"),
+                (n, c, h + 2 * pad, w + 2 * pad),
+                x.dtype,
+                zero=True,
+            )
+            img[:, :, pad : h + pad, pad : w + pad] = x
+        else:
+            img = x
+        col = workspace.get((tag, "im2col_col6"), (n, c, kh, kw, out_h, out_w), x.dtype)
     for y in range(kh):
         y_max = y + stride * out_h
         for xk in range(kw):
             x_max = xk + stride * out_w
             col[:, :, y, xk, :, :] = img[:, :, y:y_max:stride, xk:x_max:stride]
-    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1), out_h, out_w
+    if workspace is None:
+        return (
+            col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1),
+            out_h,
+            out_w,
+        )
+    col2d = workspace.get(
+        (tag, "im2col_col2d"), (n * out_h * out_w, c * kh * kw), x.dtype
+    )
+    np.copyto(
+        col2d.reshape(n, out_h, out_w, c, kh, kw), col.transpose(0, 4, 5, 1, 2, 3)
+    )
+    return col2d, out_h, out_w
 
 
 def col2im(
@@ -102,17 +186,27 @@ def col2im(
     kw: int,
     stride: int,
     pad: int,
+    workspace: Optional[Workspace] = None,
+    tag: str = "",
 ) -> np.ndarray:
     """Fold a patch matrix back into an image batch, summing overlaps.
 
     Exact adjoint of :func:`im2col`, used for the convolution backward
-    pass with respect to the input.
+    pass with respect to the input.  With a ``workspace`` the
+    accumulator comes from it and the result may alias workspace
+    scratch (valid until the next same-shape call).
     """
     n, c, h, w = input_shape
     out_h = (h + 2 * pad - kh) // stride + 1
     out_w = (w + 2 * pad - kw) // stride + 1
     col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    if workspace is None:
+        img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    else:
+        img = workspace.get(
+            (tag, "col2im_img"), (n, c, h + 2 * pad, w + 2 * pad), col.dtype
+        )
+        img.fill(0.0)
     for y in range(kh):
         y_max = y + stride * out_h
         for xk in range(kw):
@@ -134,6 +228,8 @@ class Dense(Layer):
         Generator used for He-normal weight initialization.
     """
 
+    _param_attrs = ("weight", "bias")
+
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature counts must be positive")
@@ -144,12 +240,6 @@ class Dense(Layer):
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
         self._x: Optional[np.ndarray] = None
-
-    def params(self) -> List[np.ndarray]:
-        return [self.weight, self.bias]
-
-    def grads(self) -> List[np.ndarray]:
-        return [self.grad_weight, self.grad_bias]
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Affine map ``x @ W + b``; caches ``x`` when training."""
@@ -189,7 +279,16 @@ class Conv2d(Layer):
         Usual convolution hyperparameters.
     rng:
         Generator for He-normal weight initialization.
+
+    The im2col patch matrix, the output of the forward matmul, and the
+    backward's ``dcol``/``col2im`` buffers all come from a per-layer
+    :class:`~repro.nn.arena.Workspace` (separate keys for training and
+    inference, so an inference pass never clobbers a pending backward's
+    cached patches).  Warm-path forward/backward therefore performs no
+    large allocations.
     """
+
+    _param_attrs = ("weight", "bias")
 
     def __init__(
         self,
@@ -216,15 +315,10 @@ class Conv2d(Layer):
         self.bias = zeros((out_channels,))
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
+        self._ws = Workspace()
         self._col: Optional[np.ndarray] = None
         self._x_shape: Optional[Tuple[int, int, int, int]] = None
         self._out_hw: Optional[Tuple[int, int]] = None
-
-    def params(self) -> List[np.ndarray]:
-        return [self.weight, self.bias]
-
-    def grads(self) -> List[np.ndarray]:
-        return [self.grad_weight, self.grad_bias]
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Convolve NCHW input via im2col; caches patches when training."""
@@ -233,12 +327,23 @@ class Conv2d(Layer):
                 f"Conv2d expects (N, {self.in_channels}, H, W), got {x.shape}"
             )
         n = x.shape[0]
+        tag = "t" if training else "i"
         col, out_h, out_w = im2col(
-            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+            x,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            workspace=self._ws,
+            tag=tag,
         )
         w_mat = self.weight.reshape(self.out_channels, -1)
-        out = col @ w_mat.T + self.bias
-        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        out_mat = self._ws.get(
+            (tag, "fwd_out"), (col.shape[0], self.out_channels), col.dtype
+        )
+        np.matmul(col, w_mat.T, out=out_mat)
+        out_mat += self.bias
+        out = out_mat.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         if training:
             self._col = col
             self._x_shape = x.shape
@@ -251,10 +356,19 @@ class Conv2d(Layer):
             raise RuntimeError("backward called before forward(training=True)")
         n = self._x_shape[0]
         out_h, out_w = self._out_hw
-        dout_mat = dout.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        dout_mat = self._ws.get(
+            ("t", "bwd_dout"), (n * out_h * out_w, self.out_channels), dout.dtype
+        )
+        np.copyto(
+            dout_mat.reshape(n, out_h, out_w, self.out_channels),
+            dout.transpose(0, 2, 3, 1),
+        )
         self.grad_bias[...] = dout_mat.sum(axis=0)
-        self.grad_weight[...] = (dout_mat.T @ self._col).reshape(self.weight.shape)
-        dcol = dout_mat @ self.weight.reshape(self.out_channels, -1)
+        np.matmul(
+            dout_mat.T, self._col, out=self.grad_weight.reshape(self.out_channels, -1)
+        )
+        dcol = self._ws.get(("t", "bwd_dcol"), self._col.shape, self._col.dtype)
+        np.matmul(dout_mat, self.weight.reshape(self.out_channels, -1), out=dcol)
         dx = col2im(
             dcol,
             self._x_shape,
@@ -262,6 +376,8 @@ class Conv2d(Layer):
             self.kernel_size,
             self.stride,
             self.padding,
+            workspace=self._ws,
+            tag="t",
         )
         self._col = None
         self._x_shape = None
@@ -281,12 +397,15 @@ class MaxPool2d(Layer):
     The reproduction only needs the classic ``2x2/2`` pooling of the
     paper's CNNs, so the implementation requires the spatial dims to be
     divisible by the pool size and uses a pure reshape — no im2col cost.
+    The windowed input copy, argmax mask and routed gradient live in a
+    per-layer :class:`~repro.nn.arena.Workspace`.
     """
 
     def __init__(self, pool_size: int = 2):
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
         self.pool_size = pool_size
+        self._ws = Workspace()
         self._mask: Optional[np.ndarray] = None
         self._x_shape: Optional[Tuple[int, int, int, int]] = None
 
@@ -298,13 +417,19 @@ class MaxPool2d(Layer):
             raise ValueError(
                 f"MaxPool2d(pool={p}) needs H, W divisible by pool; got {h}x{w}"
             )
-        xr = x.reshape(n, c, h // p, p, w // p, p)
+        tag = "t" if training else "i"
+        xr = self._ws.get((tag, "pool_xr"), (n, c, h // p, p, w // p, p), x.dtype)
+        # xr is contiguous, so viewing it as NCHW is free; the copy also
+        # absorbs non-contiguous inputs (e.g. a conv's transposed output).
+        np.copyto(xr.reshape(n, c, h, w), x)
         out = xr.max(axis=(3, 5))
         if training:
             # Mask marks, per pooling window, which positions achieved the
             # max (ties propagate gradient to every argmax, which is the
             # subgradient convention and keeps the op deterministic).
-            self._mask = xr == out[:, :, :, None, :, None]
+            mask = self._ws.get((tag, "pool_mask"), xr.shape, np.bool_)
+            np.equal(xr, out[:, :, :, None, :, None], out=mask)
+            self._mask = mask
             self._x_shape = x.shape
         return out
 
@@ -313,8 +438,9 @@ class MaxPool2d(Layer):
         if self._mask is None or self._x_shape is None:
             raise RuntimeError("backward called before forward(training=True)")
         counts = self._mask.sum(axis=(3, 5), keepdims=True)
-        dx = self._mask * (dout[:, :, :, None, :, None] / counts)
-        dx = dx.reshape(self._x_shape)
+        dx6 = self._ws.get(("t", "pool_dx"), self._mask.shape, dout.dtype)
+        np.multiply(self._mask, dout[:, :, :, None, :, None] / counts, out=dx6)
+        dx = dx6.reshape(self._x_shape)
         self._mask = None
         self._x_shape = None
         return dx
@@ -397,12 +523,18 @@ class Flatten(Layer):
         return "Flatten()"
 
 
+#: Sentinel mask for a zero-rate Dropout in training mode: the layer is
+#: the identity, so neither a ones mask nor an input copy is needed.
+_IDENTITY_MASK = object()
+
+
 class Dropout(Layer):
     """Inverted dropout.
 
     Active only when ``training=True``; at inference it is the
     identity.  Requires an explicit generator so training remains
-    reproducible.
+    reproducible.  With ``rate == 0.0`` the training path is also the
+    identity and allocates nothing (no ones mask, no input copy).
     """
 
     def __init__(self, rate: float, rng: np.random.Generator):
@@ -410,13 +542,16 @@ class Dropout(Layer):
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
         self._rng = rng
-        self._mask: Optional[np.ndarray] = None
+        self._mask: Optional[Any] = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Apply inverted dropout when training; identity at inference."""
-        if not training or self.rate == 0.0:
-            self._mask = None if not training else np.ones_like(x)
-            return x if not training else x.copy()
+        if not training:
+            self._mask = None
+            return x
+        if self.rate == 0.0:
+            self._mask = _IDENTITY_MASK
+            return x
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
@@ -425,9 +560,11 @@ class Dropout(Layer):
         """Apply the same keep mask used in the forward pass."""
         if self._mask is None:
             raise RuntimeError("backward called before forward(training=True)")
-        dx = dout * self._mask
+        mask = self._mask
         self._mask = None
-        return dx
+        if mask is _IDENTITY_MASK:
+            return dout
+        return dout * mask
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dropout({self.rate})"

@@ -7,19 +7,48 @@ vector ``w ∈ R^d``, and :meth:`Sequential.loss_and_flat_grad` returns
 the loss and ``∇L(w)`` as a matching flat vector.  All federated
 aggregation, backtracking, and L-BFGS recovery operate purely in this
 vector space.
+
+Memory model
+------------
+On construction the container builds a
+:class:`~repro.nn.arena.ParameterArena`: one contiguous flat parameter
+buffer and one contiguous flat gradient buffer.  Every layer's
+``weight``/``bias``/``grad_*`` array is a reshaped *view* into those
+buffers (see :meth:`repro.nn.layers.Layer.adopt_views`), so:
+
+- ``get_flat_params()``/``get_flat_grads()`` are a single ``copy()``;
+- ``set_flat_params()`` is a single ``np.copyto`` — the layers see the
+  new values through their views with zero per-layer work;
+- ``loss_and_flat_grad()`` never concatenates: the backward pass wrote
+  the flat gradient in place.
+
+The ``_view`` variants (:meth:`get_flat_params_view`,
+:meth:`get_flat_grads_view`, :meth:`loss_and_flat_grad_view`) skip even
+that one copy and hand out read-only aliases of the arena for hot paths
+that only *read* the vector before the model is touched again.
+
+``dtype`` selects the arena compute precision.  The default
+``float64`` is the bitwise-determinism contract; ``float32`` is an
+opt-in policy where layer compute runs in single precision while every
+flat vector crossing the model boundary remains float64 (inputs are
+cast on the way in, params/grads are cast on the way out).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+import copy
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.arena import ParameterArena
 from repro.nn.layers import Layer
 from repro.nn.loss import SoftmaxCrossEntropy, softmax
-from repro.utils.flat import flatten_arrays, shapes_of, total_size, unflatten_vector
+from repro.utils.flat import shapes_of, total_size
 
 __all__ = ["Sequential"]
+
+_ALLOWED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 class Sequential:
@@ -31,16 +60,52 @@ class Sequential:
         Ordered layers; the output of each feeds the next.
     loss:
         Loss object; defaults to :class:`SoftmaxCrossEntropy`.
+    dtype:
+        Arena/compute precision — ``float64`` (default, bitwise
+        contract) or ``float32`` (opt-in fast policy; flat vectors at
+        the model boundary stay float64).
     """
 
     def __init__(
-        self, layers: Sequence[Layer], loss: Optional[SoftmaxCrossEntropy] = None
+        self,
+        layers: Sequence[Layer],
+        loss: Optional[SoftmaxCrossEntropy] = None,
+        dtype=np.float64,
     ):
         self.layers: List[Layer] = list(layers)
         if not self.layers:
             raise ValueError("Sequential needs at least one layer")
         self.loss = loss or SoftmaxCrossEntropy()
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in _ALLOWED_DTYPES:
+            raise ValueError(
+                f"Sequential dtype must be float64 or float32, got {self.dtype}"
+            )
         self._param_shapes = shapes_of(self._param_refs())
+        self._build_arena()
+
+    def _build_arena(self) -> None:
+        """Carve the flat arena and rebind every layer onto views of it.
+
+        Layer parameters keep their pre-adoption values (copied in
+        bitwise), so building — or re-building after deepcopy/unpickle —
+        never perturbs model state.
+        """
+        arena = ParameterArena(self._param_shapes, dtype=self.dtype)
+        offset = 0
+        for layer in self.layers:
+            count = len(layer.params())
+            layer.adopt_views(
+                arena.param_views[offset : offset + count],
+                arena.grad_views[offset : offset + count],
+            )
+            offset += count
+        self._arena = arena
+
+    @property
+    def arena(self) -> ParameterArena:
+        """The model's parameter/gradient arena (advanced use)."""
+        return self._arena
 
     # ------------------------------------------------------------------
     # forward / backward
@@ -48,45 +113,85 @@ class Sequential:
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Run the stack; returns logits."""
         out = x
+        if self.dtype != np.float64 and out.dtype != self.dtype:
+            out = out.astype(self.dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
+
+    @staticmethod
+    def _batches(n: int, batch_size: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start, stop)`` slices covering ``range(n)``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, n, batch_size):
+            yield start, min(start + batch_size, n)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Predicted class indices, evaluated in inference mode."""
         return np.argmax(self.predict_proba(x, batch_size=batch_size), axis=1)
 
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Class probabilities, evaluated in inference mode and batched."""
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        chunks = []
-        for start in range(0, x.shape[0], batch_size):
-            logits = self.forward(x[start : start + batch_size], training=False)
-            chunks.append(softmax(logits))
-        if not chunks:
+        """Class probabilities, evaluated in inference mode and batched.
+
+        The output is written batch-by-batch into one preallocated
+        array — no per-chunk list or final concatenation.
+        """
+        out: Optional[np.ndarray] = None
+        for start, stop in self._batches(x.shape[0], batch_size):
+            logits = self.forward(x[start:stop], training=False)
+            probs = softmax(logits)
+            if out is None:
+                out = np.empty((x.shape[0], probs.shape[1]), dtype=probs.dtype)
+            out[start:stop] = probs
+        if out is None:
             raise ValueError("cannot predict on an empty batch")
-        return np.concatenate(chunks, axis=0)
+        return out
 
     def loss_and_flat_grad(
         self, x: np.ndarray, y: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        """One forward+backward pass; returns ``(loss, flat gradient)``."""
+        """One forward+backward pass; returns ``(loss, flat gradient)``.
+
+        The gradient is an owned float64 copy; use
+        :meth:`loss_and_flat_grad_view` when a read-only alias suffices.
+        """
+        loss = self._forward_backward(x, y)
+        g = self._arena.g
+        if self.dtype == np.float64:
+            return loss, g.copy()
+        return loss, g.astype(np.float64)
+
+    def loss_and_flat_grad_view(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Like :meth:`loss_and_flat_grad`, but the gradient is a
+        read-only view of the arena (arena dtype, zero-copy).
+
+        The view is only valid until the next backward pass on this
+        model — copy (or consume) it before training again.
+        """
+        loss = self._forward_backward(x, y)
+        return loss, self._arena.readonly_grads()
+
+    def _forward_backward(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Forward+backward; leaves the flat gradient in the arena."""
         logits = self.forward(x, training=True)
         loss, dlogits = self.loss.forward(logits, y)
         grad = dlogits
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
-        return loss, flatten_arrays(self._grad_refs())
+        return loss
 
-    def evaluate_loss(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+    def evaluate_loss(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> float:
         """Mean loss in inference mode, batched (no gradient buffers touched)."""
         total, count = 0.0, 0
-        for start in range(0, x.shape[0], batch_size):
-            xb = x[start : start + batch_size]
-            yb = y[start : start + batch_size]
+        for start, stop in self._batches(x.shape[0], batch_size):
+            xb = x[start:stop]
             logits = self.forward(xb, training=False)
-            total += self.loss.loss_only(logits, yb) * xb.shape[0]
+            total += self.loss.loss_only(logits, y[start:stop]) * xb.shape[0]
             count += xb.shape[0]
         if count == 0:
             raise ValueError("cannot evaluate loss on empty data")
@@ -114,17 +219,68 @@ class Sequential:
 
     def get_flat_params(self) -> np.ndarray:
         """Copy of all parameters as one flat float64 vector."""
-        return flatten_arrays(self._param_refs())
+        w = self._arena.w
+        if self.dtype == np.float64:
+            return w.copy()
+        return w.astype(np.float64)
+
+    def get_flat_params_view(self) -> np.ndarray:
+        """Read-only zero-copy view of the flat parameters (arena dtype).
+
+        Aliases live model state: valid only until the next parameter
+        mutation (``set_flat_params`` or a training step).
+        """
+        return self._arena.readonly_params()
 
     def set_flat_params(self, vector: np.ndarray) -> None:
-        """Overwrite all parameters from a flat vector (in place)."""
-        arrays = unflatten_vector(vector, self._param_shapes)
-        for ref, new in zip(self._param_refs(), arrays):
-            ref[...] = new
+        """Overwrite all parameters from a flat vector — one ``copyto``."""
+        vector = np.asarray(vector)
+        if vector.size != self._arena.size:
+            raise ValueError(
+                f"vector has {vector.size} elements but shapes require "
+                f"{self._arena.size}"
+            )
+        np.copyto(self._arena.w, vector.reshape(-1), casting="same_kind")
 
     def get_flat_grads(self) -> np.ndarray:
-        """Copy of the current gradient buffers as one flat vector."""
-        return flatten_arrays(self._grad_refs())
+        """Copy of the current gradient buffers as one flat float64 vector."""
+        g = self._arena.g
+        if self.dtype == np.float64:
+            return g.copy()
+        return g.astype(np.float64)
+
+    def get_flat_grads_view(self) -> np.ndarray:
+        """Read-only zero-copy view of the flat gradients (arena dtype).
+
+        Valid only until the next backward pass on this model.
+        """
+        return self._arena.readonly_grads()
+
+    # ------------------------------------------------------------------
+    # copying / serialization — views don't survive either, so the
+    # arena is rebuilt (and layers re-adopted) on the other side.
+    # ------------------------------------------------------------------
+    def clone(self) -> "Sequential":
+        """Deep copy with its own freshly bound arena (same values)."""
+        return copy.deepcopy(self)
+
+    def __deepcopy__(self, memo) -> "Sequential":
+        cls = self.__class__
+        new = cls.__new__(cls)
+        memo[id(self)] = new
+        state = {k: v for k, v in self.__dict__.items() if k != "_arena"}
+        # Copying the layers detaches their params from this arena
+        # (views become owned arrays); rebuilding re-attaches them.
+        new.__dict__.update(copy.deepcopy(state, memo))
+        new._build_arena()
+        return new
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if k != "_arena"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_arena()
 
     # ------------------------------------------------------------------
     # convenience
@@ -132,6 +288,19 @@ class Sequential:
     def clone_params(self) -> np.ndarray:
         """Alias for :meth:`get_flat_params` (reads better at call sites)."""
         return self.get_flat_params()
+
+    def workspace_nbytes(self) -> int:
+        """Bytes currently held by all layer scratch workspaces."""
+        return int(
+            sum(layer._ws.nbytes for layer in self.layers if hasattr(layer, "_ws"))
+        )
+
+    def clear_workspaces(self) -> None:
+        """Release all layer scratch buffers (e.g. before serializing)."""
+        for layer in self.layers:
+            ws = getattr(layer, "_ws", None)
+            if ws is not None:
+                ws.clear()
 
     def layer_summary(self) -> str:
         """Multi-line human-readable architecture summary."""

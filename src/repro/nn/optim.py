@@ -41,6 +41,7 @@ class SGD:
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity: Optional[np.ndarray] = None
+        self._buf: Optional[np.ndarray] = None
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         """Return updated parameters (does not mutate inputs)."""
@@ -60,6 +61,42 @@ class SGD:
         else:
             update = grad
         return params - self.lr * update
+
+    def step_(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """In-place, allocation-free variant of :meth:`step`.
+
+        Updates ``params`` in place (and returns it) using fused
+        ``out=`` arithmetic; ``grad`` is never mutated.  The scalar
+        sequencing matches :meth:`step` exactly, so for float64 inputs
+        the result is bitwise-identical — the hot loops (server rounds,
+        recovery replay) use this entry point, while :meth:`step`
+        remains the pure functional form.
+        """
+        if not isinstance(params, np.ndarray) or not isinstance(grad, np.ndarray):
+            raise TypeError("step_ requires ndarray params and grad")
+        if params.shape != grad.shape:
+            raise ValueError(
+                f"params/grad shape mismatch: {params.shape} vs {grad.shape}"
+            )
+        if not params.flags.writeable:
+            raise ValueError("params must be writable for an in-place step")
+        buf = self._buf
+        if buf is None or buf.shape != params.shape or buf.dtype != params.dtype:
+            buf = self._buf = np.empty_like(params)
+        update = grad
+        if self.weight_decay:
+            np.multiply(params, self.weight_decay, out=buf)
+            np.add(buf, grad, out=buf)
+            update = buf
+        if self.momentum:
+            if self._velocity is None or self._velocity.shape != update.shape:
+                self._velocity = np.zeros_like(update)
+            np.multiply(self._velocity, self.momentum, out=self._velocity)
+            np.add(self._velocity, update, out=self._velocity)
+            update = self._velocity
+        np.multiply(update, self.lr, out=buf)
+        np.subtract(params, buf, out=params)
+        return params
 
     def reset(self) -> None:
         """Clear momentum state (used when a client re-joins training)."""

@@ -12,6 +12,12 @@ conventional small-CNN widths (8/16 conv channels) that match the
 reported parameter scale; the widths are constructor arguments so the
 benchmark profiles can shrink them for CI runs without changing the
 architecture shape.
+
+Every factory accepts ``dtype`` (``"float64"`` default, ``"float32"``
+opt-in): it selects the model's arena/compute precision — see
+:class:`repro.nn.model.Sequential`.  The default float64 path is the
+bitwise-determinism contract; float32 roughly halves memory traffic for
+throughput experiments that don't need exact reproducibility.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ def mnist_cnn(
     conv1: int = 8,
     conv2: int = 16,
     hidden: int = 64,
+    dtype="float64",
 ) -> Sequential:
     """The paper's MNIST model: conv-pool-conv-pool, then two dense layers."""
     after1 = image_size // 2  # 3x3 conv with pad 1 keeps size; pool halves
@@ -49,7 +56,8 @@ def mnist_cnn(
             Dense(flat, hidden, rng=rng),
             ReLU(),
             Dense(hidden, num_classes, rng=rng),
-        ]
+        ],
+        dtype=dtype,
     )
 
 
@@ -60,6 +68,7 @@ def gtsrb_cnn(
     num_classes: int = 10,
     conv1: int = 8,
     conv2: int = 16,
+    dtype="float64",
 ) -> Sequential:
     """The paper's GTSRB model: two conv blocks, a single dense classifier."""
     after1 = image_size // 2
@@ -75,7 +84,8 @@ def gtsrb_cnn(
             MaxPool2d(2),
             Flatten(),
             Dense(flat, num_classes, rng=rng),
-        ]
+        ],
+        dtype=dtype,
     )
 
 
@@ -85,6 +95,7 @@ def mlp(
     num_classes: int,
     hidden: int = 32,
     depth: int = 1,
+    dtype="float64",
 ) -> Sequential:
     """Plain MLP on flattened inputs.
 
@@ -101,7 +112,7 @@ def mlp(
         layers.extend([Dense(width, hidden, rng=rng), ReLU()])
         width = hidden
     layers.append(Dense(width, num_classes, rng=rng))
-    return Sequential(layers)
+    return Sequential(layers, dtype=dtype)
 
 
 def tiny_cnn(
@@ -109,6 +120,7 @@ def tiny_cnn(
     image_size: int = 12,
     channels: int = 1,
     num_classes: int = 4,
+    dtype="float64",
 ) -> Sequential:
     """Minimal conv net for unit tests — one conv block + classifier."""
     after = image_size // 2
@@ -119,5 +131,6 @@ def tiny_cnn(
             MaxPool2d(2),
             Flatten(),
             Dense(4 * after * after, num_classes, rng=rng),
-        ]
+        ],
+        dtype=dtype,
     )

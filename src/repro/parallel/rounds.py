@@ -115,11 +115,17 @@ def build_training_context(
 ) -> TrainingContext:
     """Context factory handed to :func:`repro.parallel.executor.make_executor`.
 
-    Deep-copies ``model`` ``num_models`` times so no scratch model is
-    shared — with the parent's model (thread engine) or across
-    concurrent tasks.
+    Clones ``model`` ``num_models`` times so no scratch model is shared
+    — with the parent's model (thread engine) or across concurrent
+    tasks.  :meth:`repro.nn.model.Sequential.clone` rebuilds each copy's
+    parameter arena (the clone's layers adopt views into its *own* flat
+    buffers, with empty scratch workspaces); plain ``deepcopy`` is the
+    fallback for model types without ``clone``.
     """
-    models = ModelPool([deepcopy(model) for _ in range(num_models)])
+    clone = getattr(model, "clone", None)
+    models = ModelPool(
+        [clone() if clone is not None else deepcopy(model) for _ in range(num_models)]
+    )
     return TrainingContext(clients=clients, models=models, retry_policy=retry_policy)
 
 

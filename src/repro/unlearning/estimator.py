@@ -95,9 +95,28 @@ class GradientEstimator:
         historical_params: np.ndarray,
     ) -> np.ndarray:
         """Eq. 6 followed by Eq. 7."""
-        raw = estimate_gradient(
-            stored_gradient, self.buffer, recovered_params, historical_params
+        displacement = np.asarray(recovered_params, dtype=np.float64).ravel() - (
+            np.asarray(historical_params, dtype=np.float64).ravel()
         )
+        return self.estimate_displaced(stored_gradient, displacement)
+
+    def estimate_displaced(
+        self, stored_gradient: np.ndarray, displacement: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 6/7 with a precomputed ``w̄_t − w_t``.
+
+        The displacement is identical for every client in a round, so
+        the recovery loop computes it once and calls this for each
+        client instead of re-deriving it per estimator.
+        """
+        stored = np.asarray(stored_gradient, dtype=np.float64).ravel()
+        displacement = np.asarray(displacement, dtype=np.float64).ravel()
+        if stored.shape != displacement.shape:
+            raise ValueError(
+                f"gradient/displacement mismatch: {stored.shape} vs "
+                f"{displacement.shape}"
+            )
+        raw = stored + self.buffer.hvp(displacement)
         self.estimates_made += 1
         clipped = clip_elementwise(raw, self.clip_threshold)
         telemetry = current_telemetry()
@@ -106,7 +125,6 @@ class GradientEstimator:
                 np.count_nonzero(np.abs(raw) > self.clip_threshold)
             ) / raw.size
             telemetry.observe("recovery_clip_rate", clip_rate)
-            stored = np.asarray(stored_gradient, dtype=np.float64).ravel()
             telemetry.observe(
                 "recovery_estimate_drift", float(np.linalg.norm(clipped - stored))
             )

@@ -44,7 +44,12 @@ import numpy as np
 
 from repro.telemetry.core import current_telemetry
 
-__all__ = ["LbfgsBuffer", "compact_hvp", "lbfgs_hessian_dense"]
+__all__ = [
+    "LbfgsBuffer",
+    "compact_form_matrices",
+    "compact_hvp",
+    "lbfgs_hessian_dense",
+]
 
 _MIN_CURVATURE = 1e-12
 _MIN_NORM = 1e-12
@@ -69,6 +74,12 @@ class LbfgsBuffer:
         self.buffer_size = buffer_size
         self.sigma_floor = sigma_floor
         self._pairs: Deque[Tuple[np.ndarray, np.ndarray]] = deque(maxlen=buffer_size)
+        # Cached compact form (ΔW, ΔG, σ, M, wing); rebuilt lazily after
+        # any pair mutation.  The cached arrays are shared with callers
+        # (compact_state, compact_hvp) and must be treated as read-only.
+        self._form: Optional[
+            Tuple[np.ndarray, np.ndarray, float, np.ndarray, np.ndarray]
+        ] = None
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -99,6 +110,7 @@ class LbfgsBuffer:
             )
             if accepted:
                 self._pairs.append((delta_w.copy(), delta_g.copy()))
+                self._form = None
         if telemetry.enabled:
             if accepted:
                 telemetry.inc("lbfgs_pairs_accepted_total")
@@ -110,6 +122,7 @@ class LbfgsBuffer:
     def clear(self) -> None:
         """Drop all pairs (used by the vector-pair refresh policy)."""
         self._pairs.clear()
+        self._form = None
 
     def pairs(self) -> list:
         """Copies of the held ``(Δw, Δg)`` pairs, oldest first.
@@ -132,6 +145,24 @@ class LbfgsBuffer:
         sigma = max(sigma, self.sigma_floor)
         return dw, dg, sigma
 
+    def _compact_form(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray, np.ndarray]:
+        """The cached ``(ΔW, ΔG, σ, M, wing)`` compact form.
+
+        The middle matrix ``M`` and the wing ``[ΔG  σΔW]`` depend only
+        on the held pairs, so within one recovery round (dozens of
+        ``hvp`` calls against an unchanged buffer) they are built once
+        here instead of once per product.  Invalidated by
+        :meth:`add_pair` and :meth:`clear`.
+        """
+        form = self._form
+        if form is None:
+            dw, dg, sigma = self._matrices()
+            middle, wing = compact_form_matrices(dw, dg, sigma)
+            form = self._form = (dw, dg, sigma, middle, wing)
+        return form
+
     def hvp(self, vector: np.ndarray) -> np.ndarray:
         """Approximate ``H̃ · vector``.
 
@@ -149,12 +180,12 @@ class LbfgsBuffer:
         vector = np.asarray(vector, dtype=np.float64).ravel()
         if self.is_empty:
             return np.zeros_like(vector)
-        dw, dg, sigma = self._matrices()
+        dw, dg, sigma, middle, wing = self._compact_form()
         if dw.shape[0] != vector.size:
             raise ValueError(
                 f"vector has {vector.size} elements, pairs have {dw.shape[0]}"
             )
-        return compact_hvp(dw, dg, sigma, vector)
+        return compact_hvp(dw, dg, sigma, vector, middle=middle, wing=wing)
 
     def compact_state(self) -> Optional[Tuple[np.ndarray, np.ndarray, float]]:
         """The buffer's compact form ``(ΔW, ΔG, σ)``, or None when empty.
@@ -162,11 +193,13 @@ class LbfgsBuffer:
         ``compact_hvp(ΔW, ΔG, σ, v)`` on this state equals
         ``self.hvp(v)`` bitwise — it is the picklable snapshot the
         parallel recovery path ships to workers so they run the exact
-        serial arithmetic on a copy of the buffer.
+        serial arithmetic on a copy of the buffer.  The returned arrays
+        come from the internal cache: treat them as read-only.
         """
         if self.is_empty:
             return None
-        return self._matrices()
+        dw, dg, sigma, _, _ = self._compact_form()
+        return dw, dg, sigma
 
     def dense(self, dim: int) -> np.ndarray:
         """Materialize ``H̃`` as a (dim, dim) matrix — tests/small d only."""
@@ -176,17 +209,16 @@ class LbfgsBuffer:
         return np.stack([self.hvp(eye[:, j]) for j in range(dim)], axis=1)
 
 
-def compact_hvp(
-    delta_w: np.ndarray, delta_g: np.ndarray, sigma: float, vector: np.ndarray
-) -> np.ndarray:
-    """The compact-form Hessian-vector product ``H̃ · vector``.
+def compact_form_matrices(
+    delta_w: np.ndarray, delta_g: np.ndarray, sigma: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the vector-independent factors of Algorithm 2.
 
-    The pure arithmetic core of Algorithm 2, shared by the serial path
-    (:meth:`LbfgsBuffer.hvp`) and the parallel recovery workers so both
-    produce bitwise-identical results.  ``delta_w``/``delta_g`` are the
-    stacked ``(d, s)`` pair matrices and ``sigma`` the (already
-    clamped) initial-curvature scalar — i.e. exactly what
-    :meth:`LbfgsBuffer.compact_state` returns.
+    Returns ``(M, wing)`` — the ``(2s, 2s)`` middle matrix and the
+    ``(d, 2s)`` wing ``[ΔG  σΔW]``.  Both depend only on the pair
+    matrices, so a buffer serving many Hessian-vector products against
+    the same pairs computes them once (see
+    :meth:`LbfgsBuffer._compact_form`).
     """
     dw, dg = delta_w, delta_g
     a = dw.T @ dg  # (s, s)
@@ -198,12 +230,40 @@ def compact_hvp(
     middle[:s, s:] = lower.T
     middle[s:, :s] = lower
     middle[s:, s:] = sigma * (dw.T @ dw)
+    wing = np.concatenate([dg, sigma * dw], axis=1)  # (d, 2s)
+    return middle, wing
+
+
+def compact_hvp(
+    delta_w: np.ndarray,
+    delta_g: np.ndarray,
+    sigma: float,
+    vector: np.ndarray,
+    middle: Optional[np.ndarray] = None,
+    wing: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The compact-form Hessian-vector product ``H̃ · vector``.
+
+    The pure arithmetic core of Algorithm 2, shared by the serial path
+    (:meth:`LbfgsBuffer.hvp`) and the parallel recovery workers so both
+    produce bitwise-identical results.  ``delta_w``/``delta_g`` are the
+    stacked ``(d, s)`` pair matrices and ``sigma`` the (already
+    clamped) initial-curvature scalar — i.e. exactly what
+    :meth:`LbfgsBuffer.compact_state` returns.
+
+    ``middle``/``wing`` may be passed precomputed (from
+    :func:`compact_form_matrices` on the same ``ΔW, ΔG, σ``); the
+    result is bitwise-identical either way since the factors are a
+    deterministic function of the pairs.
+    """
+    dw, dg = delta_w, delta_g
+    if middle is None or wing is None:
+        middle, wing = compact_form_matrices(dw, dg, sigma)
     rhs = np.concatenate([dg.T @ vector, sigma * (dw.T @ vector)])
     try:
         p = np.linalg.solve(middle, rhs)
     except np.linalg.LinAlgError:
         p, *_ = np.linalg.lstsq(middle, rhs, rcond=None)
-    wing = np.concatenate([dg, sigma * dw], axis=1)  # (d, 2s)
     return sigma * vector - wing @ p
 
 

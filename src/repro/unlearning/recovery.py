@@ -61,6 +61,7 @@ from repro.fl.aggregation import AGGREGATORS
 from repro.fl.client import VehicleClient
 from repro.fl.history import TrainingRecord
 from repro.nn.model import Sequential
+from repro.nn.optim import SGD
 from repro.parallel.estimates import EstimateTask, run_estimate
 from repro.parallel.executor import Executor, make_executor, pool_utilization
 from repro.parallel.policy import resolve_execution
@@ -245,7 +246,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
             weights.append(record.weight_of(cid))
             if refresh_now:
                 estimators[cid].seed_pair(
-                    recovered - historical, result.estimate - stored
+                    displacement_vec, result.estimate - stored
                 )
         if telemetry.enabled:
             telemetry.observe(
@@ -339,7 +340,8 @@ class SignRecoveryUnlearner(UnlearningMethod):
             est.pairs_accepted = int(info["pairs_accepted"])
             est.pairs_rejected = int(info["pairs_rejected"])
             estimators[cid] = est
-        recovered = np.asarray(arrays["recovered"], dtype=np.float64)
+        # Owned copy: the replay loop updates ``recovered`` in place.
+        recovered = np.array(arrays["recovered"], dtype=np.float64)
         return int(meta["next_round"]), recovered, estimators, dict(meta["progress"])
 
     # ------------------------------------------------------------------
@@ -390,6 +392,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
 
         telemetry = current_telemetry()
         replay_window = max(1, record.num_rounds - forget_round)
+        opt = SGD(record.learning_rate)
 
         def checkpoint_due(t: int) -> bool:
             return (
@@ -484,16 +487,21 @@ class SignRecoveryUnlearner(UnlearningMethod):
                     refresh_now = (
                         t - forget_round + 1
                     ) % self.refresh_period == 0
+                    # Eq. 6's displacement is the same for every client
+                    # in the round — compute it once, not per estimator.
+                    disp_vec = recovered - historical
                     if executor is None:
                         for cid, stored in present:
-                            estimate = estimators[cid].estimate(
-                                stored, recovered, historical
+                            estimate = estimators[cid].estimate_displaced(
+                                stored, disp_vec
                             )
                             estimates.append(estimate)
                             weights.append(record.weight_of(cid))
                             if refresh_now:
+                                # add_pair copies, so sharing disp_vec
+                                # across clients is safe.
                                 estimators[cid].seed_pair(
-                                    recovered - historical, estimate - stored
+                                    disp_vec, estimate - stored
                                 )
                     else:
                         estimates, weights = self._estimate_parallel(
@@ -505,11 +513,12 @@ class SignRecoveryUnlearner(UnlearningMethod):
                             record,
                             refresh_now,
                         )
-                    displacement = float(np.linalg.norm(recovered - historical))
+                    displacement = float(np.linalg.norm(disp_vec))
                     displacement_norms.append(displacement)
-                    recovered = recovered - record.learning_rate * aggregate(
-                        estimates, weights
-                    )
+                    # In-place Eq. 2 on the recovery trajectory; every
+                    # escape of ``recovered`` (checkpoints, callbacks)
+                    # copies, so nothing aliases the live vector.
+                    opt.step_(recovered, aggregate(estimates, weights))
                     rounds_replayed += 1
                     if telemetry.enabled:
                         telemetry.inc("recovery_rounds_total")

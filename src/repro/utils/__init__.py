@@ -16,6 +16,7 @@ subsystem relies on:
 from repro.utils.flat import (
     flatten_arrays,
     unflatten_vector,
+    unflatten_views,
     vector_l2,
     vector_cosine,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "new_rng",
     "spawn_rngs",
     "unflatten_vector",
+    "unflatten_views",
     "vector_cosine",
     "vector_l2",
 ]

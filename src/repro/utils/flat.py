@@ -16,6 +16,7 @@ import numpy as np
 __all__ = [
     "flatten_arrays",
     "unflatten_vector",
+    "unflatten_views",
     "vector_l2",
     "vector_cosine",
     "shapes_of",
@@ -64,6 +65,40 @@ def unflatten_vector(
     for shape in shapes:
         size = int(np.prod(shape))
         out.append(vector[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out
+
+
+def unflatten_views(
+    vector: np.ndarray, shapes: Sequence[Tuple[int, ...]]
+) -> List[np.ndarray]:
+    """Carve flat ``vector`` into reshaped *views* — zero copies.
+
+    The arena counterpart of :func:`unflatten_vector`: each returned
+    array aliases a contiguous slice of ``vector``, so writes through a
+    view are writes into the flat buffer and vice versa.  No dtype
+    conversion is performed (a cast would force a copy and silently
+    break the aliasing).
+
+    Raises
+    ------
+    ValueError
+        If ``vector`` is not 1-D or its length does not match the total
+        size of ``shapes``.
+    """
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a flat vector, got shape {vector.shape}")
+    expected = total_size(shapes)
+    if vector.size != expected:
+        raise ValueError(
+            f"vector has {vector.size} elements but shapes require {expected}"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape))
+        out.append(vector[offset : offset + size].reshape(shape))
         offset += size
     return out
 
