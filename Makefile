@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,12 @@ bench-parallel:
 bench-core:
 	pytest benchmarks/test_bench_core.py --benchmark-only
 
+# Amortized erasure serving: 4-request batch vs 4 cold replays (bitwise
+# identity and >=2x speedup asserted), cache hit rate and dict-vs-mmap
+# store latency into benchmarks/results/service.json.
+bench-service:
+	pytest benchmarks/test_bench_service.py --benchmark-only
+
 examples:
 	python examples/quickstart.py
 	python examples/storage_savings.py
@@ -40,6 +46,7 @@ examples:
 	python examples/chaos_resilience.py
 	python examples/telemetry_demo.py
 	python examples/parallel_speedup.py
+	python examples/erasure_throughput.py
 
 # Instrumented train -> forget -> recover run; writes telemetry-demo/
 # (events.jsonl, metrics.prom, metrics.csv, summary.txt).

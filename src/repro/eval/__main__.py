@@ -34,6 +34,7 @@ from repro.eval.config import available_scales
 from repro.eval.experiments import EXPERIMENT_RUNNERS
 from repro.eval.reporting import format_result
 from repro.parallel.policy import BACKENDS, default_execution, set_default_execution
+from repro.storage import SIGN_BACKENDS, set_default_sign_backend
 from repro.telemetry import (
     JsonlSink,
     Telemetry,
@@ -92,6 +93,14 @@ def main(argv=None) -> int:
         default=None,
         help="worker slots for the thread/process backends (default: 1)",
     )
+    parser.add_argument(
+        "--store",
+        choices=list(SIGN_BACKENDS),
+        default=None,
+        help="sign-store backend for unlearning runs: 'dict' (in-memory, "
+        "default) or 'mmap' (round-major on-disk layout, zero-copy reads); "
+        "recovered models are bitwise identical across backends",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
     args = parser.parse_args(argv)
 
@@ -105,6 +114,10 @@ def main(argv=None) -> int:
             backend=args.backend if args.backend is not None else current.backend,
             workers=args.workers if args.workers is not None else current.workers,
         )
+
+    previous_store = None
+    if args.store is not None:
+        previous_store = set_default_sign_backend(args.store)
 
     telemetry = None
     previous = None
@@ -133,6 +146,8 @@ def main(argv=None) -> int:
             set_default_execution(
                 previous_execution.backend, previous_execution.workers
             )
+        if previous_store is not None:
+            set_default_sign_backend(previous_store)
         if telemetry is not None:
             set_telemetry(previous)
             telemetry.close()

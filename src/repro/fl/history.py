@@ -11,7 +11,7 @@ testable property.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -101,7 +101,12 @@ class TrainingRecord:
             assert cid in self.client_sizes, f"no size recorded for client {cid}"
 
 
-def with_sign_store(record: TrainingRecord, delta: float = 1e-6) -> TrainingRecord:
+def with_sign_store(
+    record: TrainingRecord,
+    delta: float = 1e-6,
+    backend: Optional[str] = None,
+    directory: Optional[str] = None,
+) -> TrainingRecord:
     """Derive a record whose gradient store holds 2-bit sign directions.
 
     The fair-comparison experiments train once with a full store (so
@@ -110,13 +115,36 @@ def with_sign_store(record: TrainingRecord, delta: float = 1e-6) -> TrainingReco
     retained had it run the sign scheme, since ternarization is
     element-wise on the uploaded gradient.  Checkpoints, ledger and
     weights are shared (they are identical under both schemes).
+
+    ``backend`` picks the storage substrate: ``"dict"`` (in-memory
+    :class:`~repro.storage.store.SignGradientStore`) or ``"mmap"``
+    (round-major on-disk
+    :class:`~repro.storage.mmap_store.MmapSignGradientStore`, written
+    under ``directory`` — a fresh temp dir when omitted).  ``None``
+    defers to :func:`repro.storage.store.default_sign_backend`, which
+    ``python -m repro.eval --store`` sets.  Decoded directions, and
+    therefore recovered parameters, are bitwise identical across
+    backends.
     """
-    from repro.storage.store import SignGradientStore
+    from repro.storage.store import SignGradientStore, default_sign_backend
+
+    if backend is None:
+        backend = default_sign_backend()
 
     sign = SignGradientStore(delta=delta)
     for t in record.gradients.rounds():
         for cid in record.gradients.clients_at(t):
             sign.put(t, cid, record.gradients.get(t, cid))
+    if backend == "mmap":
+        import tempfile
+
+        from repro.storage.mmap_store import MmapSignGradientStore
+
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="sign-mmap-")
+        sign = MmapSignGradientStore.from_store(sign, directory)
+    elif backend != "dict":
+        raise ValueError(f"unknown sign backend {backend!r}; use 'dict' or 'mmap'")
     return TrainingRecord(
         checkpoints=record.checkpoints,
         gradients=sign,

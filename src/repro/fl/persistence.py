@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.fl.history import TrainingRecord
 from repro.fl.membership import MembershipLedger
+from repro.storage.mmap_store import MmapSignGradientStore
 from repro.storage.store import (
     FullGradientStore,
     GradientStore,
@@ -101,9 +102,13 @@ def store_to_arrays(
     """
     arrays: Dict[str, np.ndarray] = {}
     lengths: Dict[str, int] = {}
-    if isinstance(store, SignGradientStore):
+    if isinstance(store, (SignGradientStore, MmapSignGradientStore)):
+        # Both sign backends expose the same ((round, client),
+        # (packed, length)) items surface, so an mmap-served record
+        # persists as kind "sign" and reloads as a dict store — the
+        # native restart path for the mmap layout is its own open().
         for (t, cid), (packed, length) in store.items():
-            arrays[f"g_{t}_{cid}"] = packed
+            arrays[f"g_{t}_{cid}"] = np.asarray(packed)
             lengths[f"g_{t}_{cid}"] = length
         return "sign", arrays, lengths, store.delta
     if isinstance(store, FullGradientStore):

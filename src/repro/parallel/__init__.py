@@ -24,7 +24,12 @@ can never leak into the numerics.  ``tests/test_parallel.py`` asserts
 this across backends, seeds, and active fault plans.
 """
 
-from repro.parallel.estimates import EstimateResult, EstimateTask, run_estimate
+from repro.parallel.estimates import (
+    EstimateResult,
+    EstimateTask,
+    run_estimate,
+    tasks_from_round,
+)
 from repro.parallel.executor import (
     Executor,
     PoolStats,
@@ -68,4 +73,5 @@ __all__ = [
     "run_client_round",
     "run_estimate",
     "set_default_execution",
+    "tasks_from_round",
 ]

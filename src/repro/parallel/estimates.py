@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["EstimateResult", "EstimateTask", "run_estimate"]
+__all__ = ["EstimateResult", "EstimateTask", "run_estimate", "tasks_from_round"]
 
 
 @dataclass
@@ -55,6 +55,34 @@ class EstimateResult:
     drift: float
     hvp_seconds: float
     duration_seconds: float
+
+
+def tasks_from_round(
+    present: Sequence[Tuple[int, np.ndarray]],
+    estimators: Dict[int, object],
+    displacement: np.ndarray,
+    clip_threshold: float,
+) -> List[EstimateTask]:
+    """Build one :class:`EstimateTask` per ``(client, stored)`` pair.
+
+    ``present`` is a replay round's decoded cohort in participant order
+    (rows of a bulk :meth:`~repro.storage.store.GradientStore.get_round`
+    read, or per-client decodes — the task is agnostic), ``estimators``
+    maps client id to its
+    :class:`~repro.unlearning.estimator.GradientEstimator`.  States are
+    snapshotted here, *before* any refresh seeding, which is what keeps
+    the fan-out bitwise identical to the serial loop.
+    """
+    return [
+        EstimateTask(
+            client_id=cid,
+            stored=stored,
+            state=estimators[cid].buffer.compact_state(),
+            displacement=displacement,
+            clip_threshold=clip_threshold,
+        )
+        for cid, stored in present
+    ]
 
 
 def run_estimate(task: EstimateTask) -> EstimateResult:

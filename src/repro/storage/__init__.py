@@ -3,6 +3,7 @@ per-round gradient/model history stores used by every unlearning method."""
 
 from repro.storage.sign_codec import (
     decode_gradient,
+    decode_round,
     encode_gradient,
     encode_round,
     pack_signs,
@@ -12,26 +13,35 @@ from repro.storage.sign_codec import (
     ternarize,
     unpack_signs,
 )
+from repro.storage.mmap_store import MmapSignGradientStore
 from repro.storage.store import (
+    SIGN_BACKENDS,
     FullGradientStore,
     GradientStore,
     ModelCheckpointStore,
     SignGradientStore,
+    default_sign_backend,
     make_gradient_store,
+    set_default_sign_backend,
 )
 
 __all__ = [
     "FullGradientStore",
     "GradientStore",
+    "MmapSignGradientStore",
     "ModelCheckpointStore",
+    "SIGN_BACKENDS",
     "SignGradientStore",
     "decode_gradient",
+    "decode_round",
+    "default_sign_backend",
     "encode_gradient",
     "encode_round",
     "make_gradient_store",
     "pack_signs",
     "pack_signs_batch",
     "packed_size_bytes",
+    "set_default_sign_backend",
     "storage_savings_ratio",
     "ternarize",
     "unpack_signs",

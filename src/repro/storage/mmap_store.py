@@ -1,0 +1,384 @@
+"""Round-major on-disk sign store, served through ``np.memmap``.
+
+The dict-backed :class:`~repro.storage.store.SignGradientStore` keys
+payloads by ``(round, client)`` — ideal while training appends, but an
+erasure replay reads *whole rounds in order*, and reloading the dict
+store from a persisted record costs a full npz decompress before the
+first round can be served.  :class:`MmapSignGradientStore` is the
+serving-side layout: one contiguous packed block per round, rounds laid
+out consecutively across a few large shards, plus a small JSON manifest
+of offsets.  Opening is a manifest parse and a handful of ``np.memmap``
+calls — no payload is touched until a round is read, and a round read
+is one contiguous slice feeding
+:func:`repro.storage.sign_codec.decode_round` in a single LUT pass.
+
+Layout::
+
+    <dir>/
+      manifest.json      # format, delta, shard list, per-round offsets
+      shard_00000.bin    # concatenated round blocks (2-bit payloads)
+      tombstones.json    # forgotten clients (sidecar, written by drop_client)
+
+The store is read-only over the training history (``put`` raises):
+history is immutable once training ends, and erasure removes clients
+*logically* via tombstones so the shards never need rewriting.  Every
+read — ``get``, ``get_round``, ``items`` — is bitwise identical to the
+dict store holding the same records, which is what keeps recovered
+parameters byte-identical across backends.
+
+Telemetry: ``storage_mmap_open_seconds`` spans the open path,
+``storage_mmap_round_reads_total`` counts round blocks served, and the
+shared decode counters advance with ``backend="mmap"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.storage.sign_codec import (
+    decode_gradient,
+    decode_round,
+    packed_size_bytes,
+)
+from repro.storage.store import GradientStore, SignGradientStore
+from repro.telemetry.core import current_telemetry
+
+__all__ = ["MmapSignGradientStore"]
+
+_MANIFEST = "manifest.json"
+_TOMBSTONES = "tombstones.json"
+_SHARD_FMT = "shard_{:05d}.bin"
+_FORMAT_VERSION = 1
+_DEFAULT_SHARD_BYTES = 64 * 1024 * 1024
+
+
+class MmapSignGradientStore(GradientStore):
+    """Read-only sign store over a round-major mmap layout.
+
+    Construct with :meth:`from_store` (write a dict store's records out
+    as the on-disk layout) or :meth:`open` (map an existing layout,
+    e.g. after a server restart).  The training history is immutable:
+    ``put``/``put_round`` raise, and :meth:`drop_client` records a
+    tombstone in a sidecar file instead of rewriting shards.
+    """
+
+    supports_bulk_round = True
+
+    def __init__(self) -> None:
+        raise TypeError(
+            "use MmapSignGradientStore.from_store(...) or .open(...) — the "
+            "layout lives on disk, not in this process"
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _blank(cls) -> "MmapSignGradientStore":
+        self = object.__new__(cls)
+        self.directory = ""
+        self.delta = 0.0
+        self._shards: List[np.memmap] = []
+        # round -> (shard_idx, offset, [client_ids], [lengths])
+        self._rounds: Dict[int, Tuple[int, int, List[int], List[int]]] = {}
+        self._tombstones: set = set()
+        return self
+
+    @classmethod
+    def from_store(
+        cls,
+        store: SignGradientStore,
+        directory: str,
+        shard_bytes: int = _DEFAULT_SHARD_BYTES,
+    ) -> "MmapSignGradientStore":
+        """Write ``store``'s records into ``directory`` and open the result.
+
+        Rounds are laid out in ascending order, each as one contiguous
+        block of its clients' packed payloads (ascending client id — the
+        :meth:`clients_at` order).  A round block never spans shards; a
+        new shard starts when the current one would exceed
+        ``shard_bytes`` (blocks larger than ``shard_bytes`` get a shard
+        of their own).  The write is crash-safe in the persistence
+        idiom: shards and tombstones land first, ``manifest.json`` — the
+        commit marker — last, all via ``os.replace``.
+        """
+        if not isinstance(store, SignGradientStore):
+            raise TypeError(
+                f"from_store expects a SignGradientStore, got {type(store).__name__}"
+            )
+        if shard_bytes <= 0:
+            raise ValueError("shard_bytes must be positive")
+        os.makedirs(directory, exist_ok=True)
+
+        records = store.items()
+        by_round: Dict[int, List[Tuple[int, np.ndarray, int]]] = {}
+        for (t, cid), (packed, length) in records:
+            by_round.setdefault(t, []).append((cid, packed, length))
+
+        staging = tempfile.mkdtemp(prefix=".staging-", dir=directory)
+        try:
+            manifest_rounds: Dict[str, Dict[str, object]] = {}
+            shard_names: List[str] = []
+            shard_file = None
+            shard_offset = 0
+            for t in sorted(by_round):
+                entries = sorted(by_round[t])
+                block = b"".join(bytes(packed) for _, packed, _ in entries)
+                if shard_file is None or (
+                    shard_offset and shard_offset + len(block) > shard_bytes
+                ):
+                    if shard_file is not None:
+                        shard_file.close()
+                    shard_names.append(_SHARD_FMT.format(len(shard_names)))
+                    shard_file = open(os.path.join(staging, shard_names[-1]), "wb")
+                    shard_offset = 0
+                shard_file.write(block)
+                manifest_rounds[str(t)] = {
+                    "shard": len(shard_names) - 1,
+                    "offset": shard_offset,
+                    "clients": [cid for cid, _, _ in entries],
+                    "lengths": [length for _, _, length in entries],
+                }
+                shard_offset += len(block)
+            if shard_file is not None:
+                shard_file.close()
+
+            manifest = {
+                "format_version": _FORMAT_VERSION,
+                "delta": store.delta,
+                "shards": shard_names,
+                "rounds": manifest_rounds,
+            }
+            tomb_path = os.path.join(staging, _TOMBSTONES)
+            with open(tomb_path, "w", encoding="utf-8") as fh:
+                json.dump({"clients": []}, fh)
+            manifest_path = os.path.join(staging, _MANIFEST)
+            with open(manifest_path, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh)
+            for name in (*shard_names, _TOMBSTONES, _MANIFEST):
+                os.replace(os.path.join(staging, name), os.path.join(directory, name))
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return cls.open(directory)
+
+    @classmethod
+    def open(cls, directory: str) -> "MmapSignGradientStore":
+        """Map an existing layout read-only; raises on a damaged manifest.
+
+        ``FileNotFoundError`` when no manifest exists; ``ValueError``
+        when the manifest or shards are structurally inconsistent (bad
+        format version, offsets past a shard's end, clients/lengths
+        mismatch).
+        """
+        telemetry = current_telemetry()
+        with telemetry.span("storage_mmap_open_seconds"):
+            manifest_path = os.path.join(directory, _MANIFEST)
+            if not os.path.exists(manifest_path):
+                raise FileNotFoundError(f"no {_MANIFEST} in {directory!r}")
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("format_version") != _FORMAT_VERSION:
+                raise ValueError(
+                    f"{_MANIFEST}: unsupported format "
+                    f"{manifest.get('format_version')!r}"
+                )
+
+            self = cls._blank()
+            self.directory = directory
+            self.delta = float(manifest["delta"])
+            for name in manifest["shards"]:
+                path = os.path.join(directory, name)
+                if not os.path.exists(path):
+                    raise ValueError(f"{_MANIFEST}: shard {name!r} is missing")
+                size = os.path.getsize(path)
+                self._shards.append(
+                    np.memmap(path, dtype=np.uint8, mode="r")
+                    if size
+                    else np.empty(0, dtype=np.uint8)
+                )
+            for key, spec in manifest["rounds"].items():
+                t = int(key)
+                clients = [int(c) for c in spec["clients"]]
+                lengths = [int(n) for n in spec["lengths"]]
+                if len(clients) != len(lengths):
+                    raise ValueError(
+                        f"{_MANIFEST}: round {t}: clients/lengths mismatch"
+                    )
+                shard, offset = int(spec["shard"]), int(spec["offset"])
+                if not 0 <= shard < len(self._shards):
+                    raise ValueError(f"{_MANIFEST}: round {t}: bad shard {shard}")
+                total = sum(packed_size_bytes(n) for n in lengths)
+                if offset < 0 or offset + total > self._shards[shard].size:
+                    raise ValueError(
+                        f"{_MANIFEST}: round {t}: block [{offset}, "
+                        f"{offset + total}) past shard end"
+                    )
+                self._rounds[t] = (shard, offset, clients, lengths)
+
+            tomb_path = os.path.join(directory, _TOMBSTONES)
+            if os.path.exists(tomb_path):
+                with open(tomb_path, "r", encoding="utf-8") as fh:
+                    self._tombstones = {int(c) for c in json.load(fh)["clients"]}
+        return self
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _row_span(self, t: int, client_id: int) -> Tuple[int, int, int]:
+        """(shard, byte offset, length) of one live record; KeyError if absent."""
+        if client_id in self._tombstones or t not in self._rounds:
+            raise KeyError(f"no gradient for client {client_id} at round {t}")
+        shard, offset, clients, lengths = self._rounds[t]
+        for cid, length in zip(clients, lengths):
+            if cid == client_id:
+                return shard, offset, length
+            offset += packed_size_bytes(length)
+        raise KeyError(f"no gradient for client {client_id} at round {t}")
+
+    def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
+        raise NotImplementedError(
+            "MmapSignGradientStore is a read-only serving layout; write new "
+            "records through SignGradientStore and re-run from_store"
+        )
+
+    def get(self, round_index: int, client_id: int) -> np.ndarray:
+        shard, offset, length = self._row_span(round_index, client_id)
+        telemetry = current_telemetry()
+        with telemetry.span("storage_decode_seconds"):
+            row = self._shards[shard][offset : offset + packed_size_bytes(length)]
+            decoded = decode_gradient(row, length)
+        if telemetry.enabled:
+            telemetry.inc("storage_decoded_elements_total", length, backend="mmap")
+        return decoded
+
+    def get_round(self, round_index: int) -> Dict[int, np.ndarray]:
+        """One contiguous slice of the shard, bulk-decoded in one pass.
+
+        For the common homogeneous-length round the block is a zero-copy
+        ``(rows, row_bytes)`` view of the memmap handed straight to
+        :func:`~repro.storage.sign_codec.decode_round`; tombstoned
+        clients are filtered from the result.  Heterogeneous rounds fall
+        back to per-row decoding.  Bitwise identical to per-client
+        :meth:`get` either way.
+        """
+        if round_index not in self._rounds:
+            return {}
+        shard, offset, clients, lengths = self._rounds[round_index]
+        live = [
+            (i, cid) for i, cid in enumerate(clients) if cid not in self._tombstones
+        ]
+        if not live:
+            return {}
+        telemetry = current_telemetry()
+        with telemetry.span("storage_decode_seconds"):
+            if len(set(lengths)) == 1:
+                length = lengths[0]
+                width = packed_size_bytes(length)
+                block = self._shards[shard][
+                    offset : offset + width * len(clients)
+                ].reshape(len(clients), width)
+                decoded = decode_round(block, length)
+                out = {cid: decoded[i] for i, cid in live}
+            else:
+                out = {}
+                for i, cid in live:
+                    row_off = offset + sum(
+                        packed_size_bytes(n) for n in lengths[:i]
+                    )
+                    row = self._shards[shard][
+                        row_off : row_off + packed_size_bytes(lengths[i])
+                    ]
+                    out[cid] = decode_gradient(row, lengths[i])
+        if telemetry.enabled:
+            telemetry.inc("storage_mmap_round_reads_total", 1)
+            telemetry.inc(
+                "storage_decoded_elements_total",
+                sum(lengths[i] for i, _ in live),
+                backend="mmap",
+            )
+            telemetry.inc("storage_bulk_decode_rounds_total", 1, backend="mmap")
+        return out
+
+    def has(self, round_index: int, client_id: int) -> bool:
+        if client_id in self._tombstones or round_index not in self._rounds:
+            return False
+        return client_id in self._rounds[round_index][2]
+
+    def rounds(self) -> List[int]:
+        return sorted(
+            t
+            for t, (_, _, clients, _) in self._rounds.items()
+            if any(c not in self._tombstones for c in clients)
+        )
+
+    def clients_at(self, round_index: int) -> List[int]:
+        if round_index not in self._rounds:
+            return []
+        return sorted(
+            c
+            for c in self._rounds[round_index][2]
+            if c not in self._tombstones
+        )
+
+    def items(self) -> List[Tuple[Tuple[int, int], Tuple[np.ndarray, int]]]:
+        """Sorted ``((round, client), (packed, length))`` pairs.
+
+        Payloads are read-only memmap views — the same shape a dict
+        store's :meth:`~repro.storage.store.SignGradientStore.items`
+        returns, so persistence serializes both identically.
+        """
+        out = []
+        for t in sorted(self._rounds):
+            shard, offset, clients, lengths = self._rounds[t]
+            for cid, length in zip(clients, lengths):
+                width = packed_size_bytes(length)
+                if cid not in self._tombstones:
+                    row = self._shards[shard][offset : offset + width]
+                    out.append(((t, cid), (row, length)))
+                offset += width
+        return out
+
+    def nbytes(self) -> int:
+        """Payload bytes of *live* (non-tombstoned) records."""
+        total = 0
+        for _, _, clients, lengths in self._rounds.values():
+            total += sum(
+                packed_size_bytes(n)
+                for c, n in zip(clients, lengths)
+                if c not in self._tombstones
+            )
+        return total
+
+    def drop_client(self, client_id: int) -> int:
+        """Tombstone every record of ``client_id``; shards stay untouched.
+
+        The tombstone sidecar is rewritten atomically so the logical
+        deletion survives a restart — :meth:`open` re-applies it.
+        Returns the number of records logically removed.
+        """
+        if client_id in self._tombstones:
+            return 0
+        removed = sum(
+            1
+            for _, _, clients, _ in self._rounds.values()
+            for c in clients
+            if c == client_id
+        )
+        self._tombstones.add(client_id)
+        payload = {"clients": sorted(self._tombstones)}
+        fd, tmp = tempfile.mkstemp(prefix=".tombstones-", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, os.path.join(self.directory, _TOMBSTONES))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return removed

@@ -19,6 +19,13 @@ bitwise identical to what the per-vector functions would produce.
 Packing writes 2-bit codes into one preallocated padded buffer (no
 concatenate copy), and unpacking goes through a precomputed
 byte → 4-signs lookup table.
+
+:func:`decode_round` is the decode counterpart: a whole round's packed
+``(num_clients, packed_size_bytes(d))`` block — a dict-store stack or a
+round-major memmap block — is LUT-decoded to float64 directions in one
+pass, with each row bitwise identical to a per-client
+``unpack_signs(...).astype(np.float64)``.  This is what the recovery
+replay's bulk read path consumes.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ __all__ = [
     "encode_gradient",
     "encode_round",
     "decode_gradient",
+    "decode_round",
     "packed_size_bytes",
     "storage_savings_ratio",
 ]
@@ -109,6 +117,9 @@ def pack_signs_batch(signs: np.ndarray) -> Tuple[np.ndarray, int]:
     if signs.size and not np.isin(signs, (-1, 0, 1)).all():
         raise ValueError("signs may only contain -1, 0, +1")
     rows, length = signs.shape
+    if rows == 0:
+        # Empty cohort: reshape(0, -1, 4) below would be ambiguous.
+        return np.zeros((0, packed_size_bytes(length)), dtype=np.uint8), int(length)
     pad = (-length) % 4
     codes = np.zeros((rows, length + pad), dtype=np.uint8)
     prefix = codes[:, :length]
@@ -162,6 +173,38 @@ def encode_round(gradients: np.ndarray, delta: float) -> Tuple[np.ndarray, int]:
 def decode_gradient(packed: np.ndarray, length: int) -> np.ndarray:
     """Unpack to a float64 direction vector in ``{-1, 0, +1}``."""
     return unpack_signs(packed, length).astype(np.float64)
+
+
+def decode_round(packed: np.ndarray, length: int) -> np.ndarray:
+    """Bulk-decode one round's packed block to float64 directions.
+
+    The inverse of :func:`encode_round`: ``packed`` holds one client per
+    row (``(num_clients, packed_size_bytes(length))``, as produced by
+    :func:`pack_signs_batch` or read straight out of a round-major mmap
+    block) and the result is the ``(num_clients, length)`` direction
+    matrix.  Row ``i`` is bitwise identical to
+    ``decode_gradient(packed[i], length)`` — one lookup-table pass over
+    the whole cohort replaces ``num_clients`` per-client unpack calls.
+    An empty cohort (0 rows) decodes to an empty ``(0, length)`` matrix.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ValueError(f"packed block must be 2-D (rows, bytes), got {packed.shape}")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rows = packed.shape[0]
+    if packed.shape[1] * 4 < length:
+        raise ValueError(
+            f"packed rows hold at most {packed.shape[1] * 4} elements, need {length}"
+        )
+    if rows == 0:
+        return np.empty((0, length), dtype=np.float64)
+    # One table lookup decodes all four slots of every byte of every
+    # row; the length-trim is a view, so exactly one float64 matrix is
+    # allocated.
+    return (
+        _BYTE_TO_SIGNS[packed].reshape(rows, -1)[:, :length].astype(np.float64)
+    )
 
 
 def packed_size_bytes(num_elements: int) -> int:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.storage.sign_codec import (
     decode_gradient,
+    decode_round,
     encode_gradient,
     encode_round,
     packed_size_bytes,
@@ -40,11 +41,50 @@ __all__ = [
     "SignGradientStore",
     "ModelCheckpointStore",
     "make_gradient_store",
+    "default_sign_backend",
+    "set_default_sign_backend",
 ]
+
+# Process-wide default backend for derived sign-store views:
+# ``"dict"`` (in-memory SignGradientStore) or ``"mmap"`` (round-major
+# on-disk MmapSignGradientStore).  Mirrors the execution-policy idiom
+# of repro.parallel.policy; ``python -m repro.eval --store mmap`` flips
+# it for a run.
+SIGN_BACKENDS = ("dict", "mmap")
+_default_sign_backend = "dict"
+
+
+def default_sign_backend() -> str:
+    """The process-wide sign-store backend (``"dict"`` or ``"mmap"``)."""
+    return _default_sign_backend
+
+
+def set_default_sign_backend(kind: str) -> str:
+    """Set the default sign-store backend; returns the previous value.
+
+    Consulted by :func:`repro.fl.history.with_sign_store` when no
+    explicit ``backend`` is passed — recovered parameters are bitwise
+    identical across backends, only the storage substrate changes.
+    """
+    global _default_sign_backend
+    if kind not in SIGN_BACKENDS:
+        raise ValueError(
+            f"unknown sign backend {kind!r}; use one of {SIGN_BACKENDS}"
+        )
+    previous = _default_sign_backend
+    _default_sign_backend = kind
+    return previous
 
 
 class GradientStore:
     """Interface for per-round, per-client gradient records."""
+
+    #: True when :meth:`get_round` is a genuine batched implementation
+    #: with per-entry semantics safe for replay (missing records are
+    #: simply absent from the result).  Wrappers that inject per-record
+    #: faults leave this False so the recovery loop keeps its
+    #: per-client error isolation.
+    supports_bulk_round = False
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         """Record ``gradient`` for ``client_id`` at ``round_index``."""
@@ -70,6 +110,19 @@ class GradientStore:
         ``{-1, 0, +1}``; for a full store it is the gradient itself.
         """
         raise NotImplementedError
+
+    def get_round(self, round_index: int) -> Dict[int, np.ndarray]:
+        """Decode one whole round as ``{client_id: float64 vector}``.
+
+        Returns an empty dict for a round with no records.  The base
+        implementation loops :meth:`get`; backends with a batched codec
+        override it (see :meth:`SignGradientStore.get_round`) and set
+        ``supports_bulk_round`` — every override returns values bitwise
+        identical to the per-client path.
+        """
+        return {
+            cid: self.get(round_index, cid) for cid in self.clients_at(round_index)
+        }
 
     def has(self, round_index: int, client_id: int) -> bool:
         """Whether a record exists."""
@@ -109,6 +162,8 @@ class GradientStore:
 
 class FullGradientStore(GradientStore):
     """Float32 full-gradient store — the FedRecover/FedEraser baseline."""
+
+    supports_bulk_round = True
 
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], np.ndarray] = {}
@@ -163,11 +218,15 @@ class FullGradientStore(GradientStore):
         # full scan, which matters once per-round journaling polls it.
         return int(self._nbytes)
 
+    def recount_nbytes(self) -> int:
+        """Recompute the byte total from the records — the accounting
+        oracle the incremental ``nbytes`` cache is tested against."""
+        return int(sum(g.nbytes for g in self._records.values()))
+
     def drop_client(self, client_id: int) -> int:
         keys = [k for k in self._records if k[1] == client_id]
         for key in keys:
-            self._nbytes -= self._records[key].nbytes
-            del self._records[key]
+            self._nbytes -= self._records.pop(key).nbytes
         return len(keys)
 
 
@@ -181,6 +240,8 @@ class SignGradientStore(GradientStore):
         ``|g| <= delta`` are stored as 0.
     """
 
+    supports_bulk_round = True
+
     def __init__(self, delta: float = 1e-6):
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
@@ -189,7 +250,13 @@ class SignGradientStore(GradientStore):
         self._nbytes = 0
 
     def _store(self, key: Tuple[int, int], packed: np.ndarray, length: int) -> None:
-        previous = self._records.get(key)
+        # Single choke point for payload normalization and byte
+        # accounting.  Payloads are stored flat (1-D contiguous uint8):
+        # a reshaped or padded payload slipped in through put_encoded
+        # would otherwise make the incremental nbytes cache diverge
+        # from a recount after a drop-then-reinsert of the same key.
+        packed = np.ascontiguousarray(packed, dtype=np.uint8).reshape(-1)
+        previous = self._records.pop(key, None)
         if previous is not None:
             self._nbytes -= previous[0].nbytes
         self._records[key] = (packed, length)
@@ -270,7 +337,9 @@ class SignGradientStore(GradientStore):
                 f"packed payload of {packed.size} bytes cannot hold {length} "
                 "2-bit elements"
             )
-        self._store((round_index, client_id), packed.copy(), int(length))
+        # reshape(-1) flattens multi-dimensional payloads; the copy
+        # detaches from the caller's array either way.
+        self._store((round_index, client_id), packed.reshape(-1).copy(), int(length))
 
     def get(self, round_index: int, client_id: int) -> np.ndarray:
         key = (round_index, client_id)
@@ -283,6 +352,43 @@ class SignGradientStore(GradientStore):
         if telemetry.enabled:
             telemetry.inc("storage_decoded_elements_total", length, backend="sign")
         return decoded
+
+    def get_round(self, round_index: int) -> Dict[int, np.ndarray]:
+        """Bulk-decode one round's cohort in a single LUT pass.
+
+        Stacks the round's packed payloads into one block and decodes
+        it through :func:`repro.storage.sign_codec.decode_round` — each
+        returned vector is bitwise identical to the per-client
+        :meth:`get` result (rows of the decoded matrix; treat them as
+        read-only).  Rounds whose payload lengths differ fall back to
+        per-client decoding.
+        """
+        entries = sorted(
+            (cid, rec) for (t, cid), rec in self._records.items() if t == round_index
+        )
+        if not entries:
+            return {}
+        telemetry = current_telemetry()
+        lengths = {length for _, (_, length) in entries}
+        with telemetry.span("storage_decode_seconds"):
+            if len(lengths) == 1:
+                length = next(iter(lengths))
+                block = np.stack([packed for _, (packed, _) in entries])
+                decoded = decode_round(block, length)
+                out = {cid: decoded[i] for i, (cid, _) in enumerate(entries)}
+            else:
+                out = {
+                    cid: decode_gradient(packed, length)
+                    for cid, (packed, length) in entries
+                }
+        if telemetry.enabled:
+            telemetry.inc(
+                "storage_decoded_elements_total",
+                sum(length for _, (_, length) in entries),
+                backend="sign",
+            )
+            telemetry.inc("storage_bulk_decode_rounds_total", 1, backend="sign")
+        return out
 
     def has(self, round_index: int, client_id: int) -> bool:
         return (round_index, client_id) in self._records
@@ -302,11 +408,15 @@ class SignGradientStore(GradientStore):
         # of a scan over every packed payload.
         return int(self._nbytes)
 
+    def recount_nbytes(self) -> int:
+        """Recompute the byte total from the records — the accounting
+        oracle the incremental ``nbytes`` cache is tested against."""
+        return int(sum(packed.nbytes for packed, _ in self._records.values()))
+
     def drop_client(self, client_id: int) -> int:
         keys = [k for k in self._records if k[1] == client_id]
         for key in keys:
-            self._nbytes -= self._records[key][0].nbytes
-            del self._records[key]
+            self._nbytes -= self._records.pop(key)[0].nbytes
         return len(keys)
 
 

@@ -11,7 +11,8 @@ enforces the catalog ⇄ docs equivalence in both directions.
 Naming rules (Prometheus conventions):
 
 - ``snake_case``, prefixed by the emitting subsystem
-  (``fl_`` / ``storage_`` / ``lbfgs_`` / ``recovery_`` / ``faults_``);
+  (``fl_`` / ``storage_`` / ``lbfgs_`` / ``recovery_`` / ``faults_`` /
+  ``service_``);
 - cumulative counters end in ``_total``;
 - histograms of durations end in ``_seconds`` and the span name *is*
   the histogram name (``trace_span("fl_round_seconds")``).
@@ -169,6 +170,21 @@ _ALL_SPECS = [
         "store (§IV), 1.0 for the full store.",
         labels=("backend",),
     ),
+    _spec(
+        "storage_bulk_decode_rounds_total", COUNTER, "rounds", "repro.storage.store",
+        "Whole-round cohorts decoded in one bulk LUT pass (get_round).",
+        labels=("backend",),
+    ),
+    # --------------------------------------------------------- storage.mmap_store
+    _spec(
+        "storage_mmap_open_seconds", HISTOGRAM, "seconds", "repro.storage.mmap_store",
+        "Opening a round-major mmap sign layout: manifest parse + shard "
+        "memmaps (span).",
+    ),
+    _spec(
+        "storage_mmap_round_reads_total", COUNTER, "rounds", "repro.storage.mmap_store",
+        "Round blocks served zero-copy from the mmap layout.",
+    ),
     # ----------------------------------------------------------- unlearning.lbfgs
     _spec(
         "lbfgs_hvp_seconds", HISTOGRAM, "seconds", "repro.unlearning.lbfgs",
@@ -256,6 +272,35 @@ _ALL_SPECS = [
         "repro.unlearning.recovery",
         "Busy-time fraction of the pool over the latest replay round: "
         "Σ task seconds / (workers × wall).",
+    ),
+    _spec(
+        "recovery_cache_hits_total", COUNTER, "requests", "repro.unlearning.recovery",
+        "Erasure requests that resumed from a cached replay prefix.",
+    ),
+    _spec(
+        "recovery_cache_misses_total", COUNTER, "requests", "repro.unlearning.recovery",
+        "Erasure requests that found no reusable replay prefix.",
+    ),
+    _spec(
+        "recovery_cache_evictions_total", COUNTER, "entries",
+        "repro.unlearning.recovery",
+        "Prefix-cache entries evicted by the LRU cap.",
+    ),
+    _spec(
+        "recovery_cache_rounds_saved_total", COUNTER, "rounds",
+        "repro.unlearning.recovery",
+        "Replay rounds skipped by resuming from cached prefixes.",
+    ),
+    _spec(
+        "recovery_cache_entries", GAUGE, "entries", "repro.unlearning.recovery",
+        "Entries currently held by the replay prefix cache.",
+    ),
+    # ---------------------------------------------------------- unlearning.service
+    _spec(
+        "service_erasure_requests_total", COUNTER, "requests",
+        "repro.unlearning.service",
+        "Erasure requests served, by arrival mode (single|batch).",
+        labels=("mode",),
     ),
     # ---------------------------------------------------------------- faults.retry
     _spec(

@@ -31,7 +31,7 @@ from repro.unlearning.estimator import (
     estimate_gradient,
 )
 from repro.unlearning.lbfgs import LbfgsBuffer, lbfgs_hessian_dense
-from repro.unlearning.recovery import SignRecoveryUnlearner
+from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
 from repro.unlearning.service import ErasureOutcome, UnlearningService
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "FedRecoveryUnlearner",
     "GradientEstimator",
     "LbfgsBuffer",
+    "ReplayPrefixCache",
     "RetrainUnlearner",
     "SignRecoveryUnlearner",
     "UnlearningService",

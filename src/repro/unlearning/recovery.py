@@ -48,12 +48,39 @@ exact serial arithmetic, and the parent does all estimator bookkeeping
 and telemetry from the returned numbers — so the recovered parameters
 are **bitwise identical to the serial run** and the pool reports its
 shape and timing via ``recovery_parallel_*``.
+
+Amortized serving: successive erasure requests replay overlapping
+windows — forgetting ``{a}`` then ``{a, b}`` repeats every round up to
+``b``'s first appearance.  A :class:`ReplayPrefixCache` snapshots each
+replayed round's committed state (parameters, L-BFGS buffers, progress
+counters — replay is RNG-free, so no generator state exists to key) per
+forgotten set.  A later request whose forget set is a *superset* of a
+cached one resumes from the deepest snapshot before the first round
+where any extra client participated; the restored state is exactly what
+a cold replay would have reached, so cached-prefix results stay bitwise
+identical (``tests/test_service_cache.py`` asserts this, stats
+included).  Cache traffic feeds the ``recovery_cache_*`` metrics.
+
+Round reads go through the store's bulk
+:meth:`~repro.storage.store.GradientStore.get_round` when the backend
+advertises ``supports_bulk_round`` — one LUT pass per cohort instead of
+per-client unpacking — and fall back to per-client reads (with their
+per-entry damage isolation) otherwise.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import weakref
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -62,7 +89,7 @@ from repro.fl.client import VehicleClient
 from repro.fl.history import TrainingRecord
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
-from repro.parallel.estimates import EstimateTask, run_estimate
+from repro.parallel.estimates import run_estimate, tasks_from_round
 from repro.parallel.executor import Executor, make_executor, pool_utilization
 from repro.parallel.policy import resolve_execution
 from repro.unlearning.backtrack import backtrack
@@ -77,11 +104,215 @@ from repro.unlearning.estimator import GradientEstimator
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_state, save_state_atomic
 
-__all__ = ["SignRecoveryUnlearner"]
+__all__ = ["ReplayPrefixCache", "SignRecoveryUnlearner"]
 
 _log = get_logger("unlearning.recovery")
 
 _CHECKPOINT = "recovery.npz"
+
+
+class _ReplaySnapshot:
+    """Committed replay state at the *start* of one round.
+
+    ``params`` is an owned copy of the recovered vector; ``estimators``
+    maps client id to ``(pairs, estimates_made, accepted, rejected)``
+    with the L-BFGS vector pairs copied out of the live buffers;
+    ``progress`` holds the stats counters accumulated so far, so a
+    resumed run's final ``UnlearnResult.stats`` is byte-identical to a
+    cold one's.
+    """
+
+    __slots__ = ("params", "estimators", "progress")
+
+    def __init__(self, params, estimators, progress):
+        self.params = params
+        self.estimators = estimators
+        self.progress = progress
+
+
+class _CacheEntry:
+    __slots__ = (
+        "record_ref",
+        "base_key",
+        "forget",
+        "forget_round",
+        "snapshots",
+        "last_used",
+    )
+
+    def __init__(self, record_ref, base_key, forget, forget_round):
+        self.record_ref = record_ref
+        self.base_key = base_key
+        self.forget = forget
+        self.forget_round = forget_round
+        self.snapshots: Dict[int, _ReplaySnapshot] = {}
+        self.last_used = 0
+
+
+class ReplayPrefixCache:
+    """Shares the common replay prefix across erasure requests.
+
+    Replay is fully deterministic given (record, hyperparameters,
+    forget set): each remaining client's estimator is seeded and
+    refreshed independently, and a round's aggregation sees only that
+    round's non-forgotten participants.  Two forget sets ``P ⊆ S``
+    with the same backtrack round therefore produce *identical*
+    trajectories up to the first round where a client in ``S ∖ P``
+    participated — so a request for ``S`` can resume from the deepest
+    snapshot a previous ``P``-replay committed before that round, with
+    the extra clients' estimators dropped.
+
+    Entries are keyed by ``(record identity, hyperparameter key,
+    forget set, backtrack round)`` and hold one snapshot per replayed
+    round.  The record is held by weak reference: a cache never keeps a
+    superseded history alive, and an entry whose record is gone can
+    never match again.  Eviction is LRU over whole entries
+    (``max_entries``).
+
+    Counters ``hits``/``misses``/``evictions``/``rounds_saved`` mirror
+    the ``recovery_cache_*`` telemetry (see ``docs/METRICS.md``) and
+    are queryable without a registry.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: List[_CacheEntry] = []
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rounds_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _divergence_bound(
+        self, record, entry: _CacheEntry, forget: FrozenSet[int]
+    ) -> int:
+        """First round where the new request's trajectory can differ
+        from the entry's: the earliest round in the replay window at
+        which any *extra* forgotten client participated.  Up to (not
+        including) that round both replays aggregated the same clients
+        from the same state."""
+        extra = forget - entry.forget
+        if not extra:
+            return record.num_rounds
+        for t in range(entry.forget_round, record.num_rounds):
+            if extra & set(record.ledger.participants_at(t)):
+                return t
+        return record.num_rounds
+
+    def lookup(
+        self,
+        record,
+        base_key: Tuple,
+        forget: FrozenSet[int],
+        forget_round: int,
+    ) -> Optional[Tuple[int, _ReplaySnapshot]]:
+        """Deepest reusable ``(resume_round, snapshot)`` for a request.
+
+        Considers entries on the same record and hyperparameters whose
+        forget set is a subset of ``forget`` and whose backtrack round
+        matches (the refresh cadence and estimator seeding are anchored
+        at the backtrack round, so a different anchor is a different
+        trajectory).  Returns None — and counts a miss — when nothing
+        survives the divergence bound.
+        """
+        telemetry = current_telemetry()
+        best: Optional[Tuple[int, _CacheEntry]] = None
+        for entry in self._entries:
+            if entry.record_ref() is not record:
+                continue
+            if entry.base_key != base_key or entry.forget_round != forget_round:
+                continue
+            if not entry.forget <= forget:
+                continue
+            bound = self._divergence_bound(record, entry, forget)
+            usable = [t for t in entry.snapshots if t <= bound]
+            if not usable:
+                continue
+            resume = max(usable)
+            if resume <= forget_round:
+                continue  # resuming at the backtrack round saves nothing
+            if best is None or resume > best[0]:
+                best = (resume, entry)
+        if best is None:
+            self.misses += 1
+            if telemetry.enabled:
+                telemetry.inc("recovery_cache_misses_total")
+            return None
+        resume, entry = best
+        self._tick += 1
+        entry.last_used = self._tick
+        saved = resume - forget_round
+        self.hits += 1
+        self.rounds_saved += saved
+        if telemetry.enabled:
+            telemetry.inc("recovery_cache_hits_total")
+            telemetry.inc("recovery_cache_rounds_saved_total", saved)
+        snapshot = entry.snapshots[resume]
+        restored = _ReplaySnapshot(
+            params=np.array(snapshot.params, dtype=np.float64),
+            estimators={
+                cid: state
+                for cid, state in snapshot.estimators.items()
+                if cid not in forget
+            },
+            progress=dict(snapshot.progress),
+        )
+        restored.progress["displacement_norms"] = list(
+            snapshot.progress["displacement_norms"]
+        )
+        return resume, restored
+
+    def store(
+        self,
+        record,
+        base_key: Tuple,
+        forget: FrozenSet[int],
+        forget_round: int,
+        snapshots: Dict[int, _ReplaySnapshot],
+    ) -> None:
+        """Commit one replay's per-round snapshots.
+
+        Merges into an existing entry for the identical key (a repeated
+        request extends coverage instead of shrinking it); otherwise
+        appends, evicting the least-recently-used entry beyond
+        ``max_entries``.
+        """
+        if not snapshots:
+            return
+        telemetry = current_telemetry()
+        self._tick += 1
+        for entry in self._entries:
+            if (
+                entry.record_ref() is record
+                and entry.base_key == base_key
+                and entry.forget == forget
+                and entry.forget_round == forget_round
+            ):
+                entry.snapshots.update(snapshots)
+                entry.last_used = self._tick
+                break
+        else:
+            entry = _CacheEntry(weakref.ref(record), base_key, forget, forget_round)
+            entry.snapshots = dict(snapshots)
+            entry.last_used = self._tick
+            self._entries.append(entry)
+            # Entries whose record has been garbage-collected can never
+            # match again — purge them before counting the cap.
+            self._entries = [e for e in self._entries if e.record_ref() is not None]
+            while len(self._entries) > self.max_entries:
+                victim = min(self._entries, key=lambda e: e.last_used)
+                self._entries.remove(victim)
+                self.evictions += 1
+                if telemetry.enabled:
+                    telemetry.inc("recovery_cache_evictions_total")
+        if telemetry.enabled:
+            telemetry.set_gauge("recovery_cache_entries", len(self._entries))
 
 
 class SignRecoveryUnlearner(UnlearningMethod):
@@ -111,6 +342,14 @@ class SignRecoveryUnlearner(UnlearningMethod):
         process-wide default from
         :func:`repro.parallel.policy.default_execution`.  Every backend
         recovers bitwise-identical parameters.
+    prefix_cache:
+        Optional :class:`ReplayPrefixCache` shared across requests.
+        When set, :meth:`unlearn` resumes from the deepest reusable
+        cached snapshot (unless a crash checkpoint takes precedence)
+        and commits this replay's per-round snapshots back.  The
+        rounds skipped this way are reported via
+        ``last_cached_prefix_rounds``, *not* in the result stats —
+        cached and cold runs return byte-identical results.
     """
 
     name = "ours"
@@ -125,6 +364,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
         checkpoint_every: int = 5,
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        prefix_cache: Optional[ReplayPrefixCache] = None,
     ):
         if refresh_period < 1:
             raise ValueError("refresh_period must be >= 1")
@@ -137,6 +377,10 @@ class SignRecoveryUnlearner(UnlearningMethod):
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.execution = resolve_execution(backend, workers)
+        self.prefix_cache = prefix_cache
+        #: Replay rounds the last :meth:`unlearn` call skipped thanks to
+        #: a prefix-cache hit (0 on a cold run).
+        self.last_cached_prefix_rounds = 0
 
     # ------------------------------------------------------------------
     def _seed_estimators(
@@ -219,16 +463,9 @@ class SignRecoveryUnlearner(UnlearningMethod):
             np.asarray(recovered, dtype=np.float64).ravel()
             - np.asarray(historical, dtype=np.float64).ravel()
         )
-        tasks = [
-            EstimateTask(
-                client_id=cid,
-                stored=stored,
-                state=estimators[cid].buffer.compact_state(),
-                displacement=displacement_vec,
-                clip_threshold=self.clip_threshold,
-            )
-            for cid, stored in present
-        ]
+        tasks = tasks_from_round(
+            present, estimators, displacement_vec, self.clip_threshold
+        )
         results, pool_stats = executor.run(run_estimate, tasks)
         estimates: List[np.ndarray] = []
         weights: List[float] = []
@@ -283,6 +520,89 @@ class SignRecoveryUnlearner(UnlearningMethod):
             "buffer_size": int(self.buffer_size),
             "refresh_period": int(self.refresh_period),
         }
+
+    # ------------------------------------------------------------------
+    # prefix-cache snapshots
+    # ------------------------------------------------------------------
+    def _cache_base_key(self, record: TrainingRecord) -> Tuple:
+        """Everything besides the forget set that shapes the trajectory."""
+        return (
+            int(record.num_rounds),
+            float(record.learning_rate),
+            str(record.aggregator),
+            float(self.clip_threshold),
+            int(self.buffer_size),
+            int(self.refresh_period),
+        )
+
+    def _make_snapshot(
+        self,
+        recovered: np.ndarray,
+        estimators: Dict[int, GradientEstimator],
+        rounds_replayed: int,
+        skipped_rounds: int,
+        missing_entries: int,
+        missing_checkpoints: int,
+        displacement_norms: List[float],
+        pairs_cache: Optional[Dict[int, List]] = None,
+    ) -> _ReplaySnapshot:
+        """Snapshot the committed replay state.
+
+        ``pairs_cache`` amortizes the expensive part across rounds: a
+        client's L-BFGS pairs change only on refresh rounds, so between
+        refreshes every snapshot shares the same copied-out pairs list
+        (the caller invalidates refreshed clients).  The lists are
+        never mutated after creation — ``pairs()`` returns copies and
+        restores copy again — so sharing is safe.
+        """
+
+        def pairs_of(cid: int, est: GradientEstimator) -> List:
+            if pairs_cache is None:
+                return est.buffer.pairs()
+            if cid not in pairs_cache:
+                pairs_cache[cid] = est.buffer.pairs()
+            return pairs_cache[cid]
+
+        return _ReplaySnapshot(
+            params=recovered.copy(),
+            estimators={
+                cid: (
+                    pairs_of(cid, est),
+                    est.estimates_made,
+                    est.pairs_accepted,
+                    est.pairs_rejected,
+                )
+                for cid, est in estimators.items()
+            },
+            progress={
+                "rounds_replayed": rounds_replayed,
+                "skipped_rounds": skipped_rounds,
+                "missing_entries": missing_entries,
+                "missing_checkpoints": missing_checkpoints,
+                "displacement_norms": list(displacement_norms),
+                # Snapshots restore transparently: a cache hit is not a
+                # crash resume, and stats must match a cold run's.
+                "resumed_from": None,
+            },
+        )
+
+    def _estimators_from_snapshot(
+        self, states: Dict[int, Tuple]
+    ) -> Dict[int, GradientEstimator]:
+        estimators: Dict[int, GradientEstimator] = {}
+        for cid, (pairs, made, accepted, rejected) in states.items():
+            est = GradientEstimator(
+                buffer_size=self.buffer_size, clip_threshold=self.clip_threshold
+            )
+            for dw, dg in pairs:
+                # Copies keep the cached snapshot immutable across
+                # however many requests restore from it.
+                est.buffer.add_pair(dw.copy(), dg.copy())
+            est.estimates_made = int(made)
+            est.pairs_accepted = int(accepted)
+            est.pairs_rejected = int(rejected)
+            estimators[cid] = est
+        return estimators
 
     def _save_checkpoint(
         self,
@@ -370,7 +690,9 @@ class SignRecoveryUnlearner(UnlearningMethod):
             "displacement_norms": [],
             "resumed_from": None,
         }
+        forget_set = set(int(c) for c in forget_ids)
         start_round = forget_round
+        self.last_cached_prefix_rounds = 0
         estimators: Optional[Dict[int, GradientEstimator]] = None
         if self.checkpoint_dir is not None:
             restored = self._load_checkpoint(fingerprint)
@@ -378,10 +700,29 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 start_round, recovered, estimators, progress = restored
                 progress["resumed_from"] = start_round
                 _log.info("resuming recovery at round %d", start_round)
+        if estimators is None and self.prefix_cache is not None:
+            # Crash checkpoints take precedence (they may be deeper into
+            # the replay and carry real resume semantics).
+            hit = self.prefix_cache.lookup(
+                record,
+                self._cache_base_key(record),
+                frozenset(forget_set),
+                forget_round,
+            )
+            if hit is not None:
+                start_round, snapshot = hit
+                recovered = snapshot.params
+                estimators = self._estimators_from_snapshot(snapshot.estimators)
+                progress = snapshot.progress
+                self.last_cached_prefix_rounds = start_round - forget_round
+                _log.info(
+                    "prefix cache hit: resuming replay at round %d "
+                    "(%d rounds amortized)",
+                    start_round,
+                    self.last_cached_prefix_rounds,
+                )
         if estimators is None:
             estimators = self._seed_estimators(record, remaining, forget_round)
-
-        forget_set = set(forget_ids)
         displacement_norms: List[float] = [
             float(n) for n in progress["displacement_norms"]
         ]
@@ -431,6 +772,21 @@ class SignRecoveryUnlearner(UnlearningMethod):
             if checkpoint_due(t):
                 commit(t)
 
+        snapshots: Dict[int, _ReplaySnapshot] = {}
+        pairs_cache: Dict[int, List] = {}
+
+        def snapshot_now() -> _ReplaySnapshot:
+            return self._make_snapshot(
+                recovered,
+                estimators,
+                rounds_replayed,
+                skipped_rounds,
+                missing_entries,
+                missing_checkpoints,
+                displacement_norms,
+                pairs_cache=pairs_cache,
+            )
+
         executor: Optional[Executor] = None
         try:
             if self.execution.backend != "serial":
@@ -445,6 +801,10 @@ class SignRecoveryUnlearner(UnlearningMethod):
                         "recovery_parallel_workers", self.execution.workers
                     )
             for t in range(start_round, record.num_rounds):
+                if self.prefix_cache is not None:
+                    # Committed state at the *start* of round t — the
+                    # resume point a later superset request restores.
+                    snapshots[t] = snapshot_now()
                 with telemetry.span("recovery_round_seconds"):
                     participants = [
                         cid
@@ -465,16 +825,35 @@ class SignRecoveryUnlearner(UnlearningMethod):
                         continue
                     present: List[Tuple[int, np.ndarray]] = []
                     round_missing = 0
-                    for cid in participants:
+                    round_updates: Optional[Dict[int, np.ndarray]] = None
+                    if getattr(record.gradients, "supports_bulk_round", False):
                         try:
-                            stored = record.gradients.get(t, cid)
+                            round_updates = record.gradients.get_round(t)
                         except Exception:
-                            # Missing/undecodable entry: the client contributes
-                            # nothing this round, like a historical dropout.
-                            missing_entries += 1
-                            round_missing += 1
-                            continue
-                        present.append((cid, stored))
+                            # Damaged round block: fall back to per-client
+                            # reads, which isolate the broken entries.
+                            round_updates = None
+                    if round_updates is not None:
+                        for cid in participants:
+                            stored = round_updates.get(cid)
+                            if stored is None:
+                                # Absent from the cohort: like a
+                                # historical dropout.
+                                missing_entries += 1
+                                round_missing += 1
+                            else:
+                                present.append((cid, stored))
+                    else:
+                        for cid in participants:
+                            try:
+                                stored = record.gradients.get(t, cid)
+                            except Exception:
+                                # Missing/undecodable entry: the client
+                                # contributes nothing this round.
+                                missing_entries += 1
+                                round_missing += 1
+                                continue
+                            present.append((cid, stored))
                     if telemetry.enabled and round_missing:
                         telemetry.inc(
                             "recovery_missing_entries_total", round_missing
@@ -513,6 +892,11 @@ class SignRecoveryUnlearner(UnlearningMethod):
                             record,
                             refresh_now,
                         )
+                    if refresh_now:
+                        # These clients' L-BFGS pairs just changed; the
+                        # next snapshot must copy them afresh.
+                        for cid, _ in present:
+                            pairs_cache.pop(cid, None)
                     displacement = float(np.linalg.norm(disp_vec))
                     displacement_norms.append(displacement)
                     # In-place Eq. 2 on the recovery trajectory; every
@@ -536,6 +920,19 @@ class SignRecoveryUnlearner(UnlearningMethod):
         finally:
             if executor is not None:
                 executor.close()
+
+        if self.prefix_cache is not None:
+            # Final committed state: a repeated identical request — or a
+            # superset whose extra clients never participated — replays
+            # zero rounds.
+            snapshots[record.num_rounds] = snapshot_now()
+            self.prefix_cache.store(
+                record,
+                self._cache_base_key(record),
+                frozenset(forget_set),
+                forget_round,
+                snapshots,
+            )
 
         if self.checkpoint_dir is not None and os.path.exists(self._checkpoint_path()):
             os.remove(self._checkpoint_path())

@@ -17,6 +17,19 @@ recovered parameters, and purge the forgotten clients' stored updates
 The service can be checkpointed to disk and resumed
 (:meth:`persist` / :meth:`UnlearningService.restore`), because erasure
 requests arrive long after training.
+
+Amortized serving: every service owns a
+:class:`~repro.unlearning.recovery.ReplayPrefixCache`, so successive
+requests reuse the replay prefix their forget sets share — each
+request's forget set is a superset of the previous one's (erased
+clients stay excluded), which is exactly the cache's reuse condition.
+:meth:`handle_erasure_batch` serves N queued requests in one call:
+all-upfront validation, then one merged replay plan in which request
+``k`` replays only the rounds its own vehicle's history actually
+perturbs.  Outcomes report the amortization
+(``ErasureOutcome.cached_prefix_rounds``) and every request feeds
+``service_erasure_requests_total`` (labelled single/batch) — the
+recovered parameters are byte-identical to serving each request cold.
 """
 
 from __future__ import annotations
@@ -30,8 +43,9 @@ from repro.defenses import DetectionReport, detect_malicious_clients
 from repro.fl.history import TrainingRecord
 from repro.fl.persistence import load_record, save_record
 from repro.nn.model import Sequential
-from repro.unlearning.base import UnlearnResult
-from repro.unlearning.recovery import SignRecoveryUnlearner
+from repro.telemetry.core import current_telemetry
+from repro.unlearning.base import UnlearnResult, resolve_forget_round
+from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
 from repro.utils.logging import get_logger
 
 __all__ = ["UnlearningService", "ErasureOutcome"]
@@ -55,6 +69,10 @@ class ErasureOutcome:
         Stored gradient records deleted for the forgotten clients.
     detection:
         The detection report, when the workflow was attacker-driven.
+    cached_prefix_rounds:
+        Replay rounds this request skipped by resuming from the
+        service's prefix cache (0 for a cold replay).  Observability
+        only — the returned parameters are byte-identical either way.
     """
 
     forgotten: List[int]
@@ -62,6 +80,7 @@ class ErasureOutcome:
     result: UnlearnResult
     purged_records: int
     detection: Optional[DetectionReport] = None
+    cached_prefix_rounds: int = 0
 
 
 @dataclass
@@ -76,6 +95,8 @@ class UnlearningService:
         Scratch model of the trained architecture.
     clip_threshold, buffer_size, refresh_period:
         Recovery hyperparameters (Eq. 7 ``L``, ``s``, refresh).
+    cache_max_entries:
+        LRU capacity of the service's replay prefix cache.
     """
 
     record: TrainingRecord
@@ -83,19 +104,33 @@ class UnlearningService:
     clip_threshold: float = 1.0
     buffer_size: int = 2
     refresh_period: int = 21
+    cache_max_entries: int = 8
     _erased: List[int] = field(default_factory=list)
+    _prefix_cache: Optional[ReplayPrefixCache] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._prefix_cache is None:
+            self._prefix_cache = ReplayPrefixCache(
+                max_entries=self.cache_max_entries
+            )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    @property
+    def prefix_cache(self) -> ReplayPrefixCache:
+        """The replay prefix cache shared by this service's requests."""
+        return self._prefix_cache
+
     def _unlearner(self) -> SignRecoveryUnlearner:
         return SignRecoveryUnlearner(
             clip_threshold=self.clip_threshold,
             buffer_size=self.buffer_size,
             refresh_period=self.refresh_period,
+            prefix_cache=self._prefix_cache,
         )
 
-    def _erase(self, client_ids: Sequence[int]) -> ErasureOutcome:
+    def _erase(self, client_ids: Sequence[int], mode: str = "single") -> ErasureOutcome:
         client_ids = sorted(set(int(c) for c in client_ids))
         already = set(self._erased) & set(client_ids)
         if already:
@@ -104,20 +139,58 @@ class UnlearningService:
         # gradients are purged, and the counterfactual model must keep
         # excluding them.
         forget = sorted(set(client_ids) | set(self._erased))
-        result = self._unlearner().unlearn(self.record, forget, self.model)
+        unlearner = self._unlearner()
+        result = unlearner.unlearn(self.record, forget, self.model)
         purged = sum(self.record.gradients.drop_client(cid) for cid in client_ids)
         self._erased.extend(client_ids)
         self.record.metadata["erased_clients"] = sorted(self._erased)
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("service_erasure_requests_total", 1, mode=mode)
         _log.info(
-            "erased clients %s: replayed %d rounds, purged %d stored records",
-            client_ids, result.rounds_replayed, purged,
+            "erased clients %s: replayed %d rounds (%d from cache), "
+            "purged %d stored records",
+            client_ids,
+            result.rounds_replayed,
+            unlearner.last_cached_prefix_rounds,
+            purged,
         )
         return ErasureOutcome(
             forgotten=client_ids,
             params=result.params,
             result=result,
             purged_records=purged,
+            cached_prefix_rounds=unlearner.last_cached_prefix_rounds,
         )
+
+    def _plan_batch(self, client_ids: Sequence[int]) -> List[int]:
+        """Validate a batch upfront and log its merged replay plan.
+
+        Returns the per-request backtrack rounds.  All requests are
+        checked before any replay starts, so a malformed batch raises
+        without erasing anyone.
+        """
+        ids = [int(c) for c in client_ids]
+        dupes = sorted({c for c in ids if ids.count(c) > 1})
+        if dupes:
+            raise ValueError(f"duplicate clients in batch: {dupes}")
+        already = sorted(set(self._erased) & set(ids))
+        if already:
+            raise ValueError(f"clients {already} were already erased")
+        known = set(self.record.ledger.known_clients())
+        unknown = sorted(set(ids) - known)
+        if unknown:
+            raise ValueError(f"unknown clients in batch: {unknown}")
+        forget = set(self._erased)
+        plan: List[int] = []
+        for cid in ids:
+            forget.add(cid)
+            plan.append(resolve_forget_round(self.record, sorted(forget)))
+        _log.info(
+            "batch erasure plan for %s: backtrack rounds %s over %d total rounds",
+            ids, plan, self.record.num_rounds,
+        )
+        return plan
 
     # ------------------------------------------------------------------
     # the three §IV-A workflows
@@ -125,6 +198,28 @@ class UnlearningService:
     def handle_erasure_request(self, client_id: int) -> ErasureOutcome:
         """Scenario 1: a vehicle invokes its right to be forgotten."""
         return self._erase([client_id])
+
+    def handle_erasure_batch(
+        self, client_ids: Sequence[int]
+    ) -> List[ErasureOutcome]:
+        """Serve N queued right-to-be-forgotten requests as one batch.
+
+        Requests are validated together upfront (duplicates, already
+        erased, unknown vehicles — nothing is erased if any request is
+        malformed), then served in arrival order against the shared
+        prefix cache: request ``k``'s forget set extends request
+        ``k−1``'s by one vehicle, so its replay resumes where the
+        trajectories diverge — typically that vehicle's join round —
+        instead of from the batch's earliest backtrack round.  Each
+        outcome is **byte-identical** to serving its request alone on a
+        fresh service (``tests/test_service_cache.py``); only the work
+        is amortized, as ``cached_prefix_rounds`` reports.
+        """
+        ids = [int(c) for c in client_ids]
+        if not ids:
+            return []
+        self._plan_batch(ids)
+        return [self._erase([cid], mode="batch") for cid in ids]
 
     def handle_departed_vehicle(self, client_id: int) -> ErasureOutcome:
         """Scenario 2: erase a vehicle that dropped out of / left FL.

@@ -69,6 +69,27 @@ class TestCliMain:
         assert "savings" in out
         assert (tmp_path / "storage.json").exists()
 
+    def test_store_flag_selects_mmap_and_restores_default(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+        from repro.storage import default_sign_backend
+
+        code = main(
+            [
+                "storage",
+                "--scale",
+                "smoke",
+                "--quiet",
+                "--store",
+                "mmap",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "storage.json").exists()
+        # The flag must not leak into the process-wide policy.
+        assert default_sign_backend() == "dict"
+
     def test_unknown_experiment_rejected(self):
         from repro.eval.__main__ import main
 

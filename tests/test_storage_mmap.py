@@ -1,0 +1,215 @@
+"""Tests for the round-major mmap sign layout.
+
+The contract under test: every read surface of
+:class:`MmapSignGradientStore` is bitwise identical to the dict-backed
+:class:`SignGradientStore` it was built from — including after a
+process "restart" (re-``open`` of the directory) and after tombstoned
+drops.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.fl.history import with_sign_store
+from repro.fl.persistence import load_record, save_record, store_to_arrays
+from repro.storage import MmapSignGradientStore, SignGradientStore
+
+
+@pytest.fixture
+def sign_store(rng):
+    store = SignGradientStore(delta=1e-6)
+    # rounds of different cohort sizes, incl. a round with one client
+    for t in range(4):
+        store.put_round(
+            t, {c: rng.normal(size=57) * 1e-3 for c in range(t % 3 + 1, 5)}
+        )
+    store.put(4, 2, rng.normal(size=57))
+    return store
+
+
+@pytest.fixture
+def mmap_store(sign_store, tmp_path):
+    return MmapSignGradientStore.from_store(sign_store, str(tmp_path / "layout"))
+
+
+def _assert_same_view(dict_store, mm):
+    assert mm.rounds() == dict_store.rounds()
+    assert mm.nbytes() == dict_store.nbytes()
+    for t in dict_store.rounds():
+        assert mm.clients_at(t) == dict_store.clients_at(t)
+        bulk = mm.get_round(t)
+        reference = dict_store.get_round(t)
+        assert sorted(bulk) == sorted(reference)
+        for cid in reference:
+            np.testing.assert_array_equal(bulk[cid], reference[cid])
+            np.testing.assert_array_equal(mm.get(t, cid), dict_store.get(t, cid))
+
+
+class TestFromStore:
+    def test_bitwise_identical_to_dict_store(self, sign_store, mmap_store):
+        _assert_same_view(sign_store, mmap_store)
+
+    def test_delta_carried(self, sign_store, mmap_store):
+        assert mmap_store.delta == sign_store.delta
+
+    def test_items_match(self, sign_store, mmap_store):
+        dict_items = sign_store.items()
+        mmap_items = mmap_store.items()
+        assert len(dict_items) == len(mmap_items)
+        for (dk, (dp, dl)), (mk, (mp, ml)) in zip(dict_items, mmap_items):
+            assert dk == mk and dl == ml
+            np.testing.assert_array_equal(np.asarray(mp), dp)
+
+    def test_empty_store(self, tmp_path):
+        mm = MmapSignGradientStore.from_store(
+            SignGradientStore(), str(tmp_path / "empty")
+        )
+        assert mm.rounds() == []
+        assert mm.nbytes() == 0
+        assert mm.get_round(0) == {}
+
+    def test_sharding_splits_rounds(self, sign_store, tmp_path):
+        directory = str(tmp_path / "sharded")
+        mm = MmapSignGradientStore.from_store(sign_store, directory, shard_bytes=32)
+        shards = [f for f in os.listdir(directory) if f.startswith("shard_")]
+        assert len(shards) > 1
+        _assert_same_view(sign_store, mm)
+
+    def test_heterogeneous_lengths(self, rng, tmp_path):
+        store = SignGradientStore()
+        store.put(0, 0, rng.normal(size=8))
+        store.put(0, 1, rng.normal(size=12))
+        mm = MmapSignGradientStore.from_store(store, str(tmp_path / "het"))
+        _assert_same_view(store, mm)
+
+    def test_rejects_full_store(self, tmp_path):
+        from repro.storage import FullGradientStore
+
+        with pytest.raises(TypeError):
+            MmapSignGradientStore.from_store(
+                FullGradientStore(), str(tmp_path / "x")
+            )
+
+    def test_direct_construction_raises(self):
+        with pytest.raises(TypeError):
+            MmapSignGradientStore()
+
+
+class TestOpen:
+    def test_survives_restart(self, sign_store, mmap_store):
+        reopened = MmapSignGradientStore.open(mmap_store.directory)
+        _assert_same_view(sign_store, reopened)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MmapSignGradientStore.open(str(tmp_path))
+
+    def test_missing_shard_raises(self, mmap_store):
+        for name in os.listdir(mmap_store.directory):
+            if name.startswith("shard_"):
+                os.unlink(os.path.join(mmap_store.directory, name))
+        with pytest.raises(ValueError, match="missing"):
+            MmapSignGradientStore.open(mmap_store.directory)
+
+    def test_truncated_shard_raises(self, mmap_store):
+        for name in os.listdir(mmap_store.directory):
+            if name.startswith("shard_"):
+                path = os.path.join(mmap_store.directory, name)
+                with open(path, "r+b") as fh:
+                    fh.truncate(max(os.path.getsize(path) - 8, 1))
+        with pytest.raises(ValueError, match="past shard end"):
+            MmapSignGradientStore.open(mmap_store.directory)
+
+
+class TestReadOnly:
+    def test_put_raises(self, mmap_store):
+        with pytest.raises(NotImplementedError):
+            mmap_store.put(0, 0, np.zeros(4))
+
+    def test_put_round_raises(self, mmap_store):
+        with pytest.raises(NotImplementedError):
+            mmap_store.put_round(0, {0: np.zeros(4)})
+
+
+class TestTombstones:
+    def test_drop_client_is_logical(self, sign_store, mmap_store):
+        expected = sign_store.drop_client(2)
+        assert mmap_store.drop_client(2) == expected
+        _assert_same_view(sign_store, mmap_store)
+        assert not mmap_store.has(4, 2)
+        with pytest.raises(KeyError):
+            mmap_store.get(4, 2)
+
+    def test_drop_survives_restart(self, sign_store, mmap_store):
+        sign_store.drop_client(3)
+        mmap_store.drop_client(3)
+        reopened = MmapSignGradientStore.open(mmap_store.directory)
+        _assert_same_view(sign_store, reopened)
+
+    def test_double_drop_returns_zero(self, mmap_store):
+        assert mmap_store.drop_client(1) > 0
+        assert mmap_store.drop_client(1) == 0
+
+    def test_drop_unknown_client(self, mmap_store):
+        assert mmap_store.drop_client(999) == 0
+
+
+class TestGetRoundSemantics:
+    def test_missing_round_is_empty(self, mmap_store):
+        assert mmap_store.get_round(99) == {}
+
+    def test_fully_tombstoned_round_is_empty(self, mmap_store):
+        mmap_store.drop_client(2)
+        assert mmap_store.get_round(4) == {}
+        assert 4 not in mmap_store.rounds()
+
+
+class TestPersistenceIntegration:
+    def test_store_to_arrays_emits_sign_kind(self, sign_store, mmap_store):
+        kind, arrays, lengths, delta = store_to_arrays(mmap_store)
+        ref_kind, ref_arrays, ref_lengths, ref_delta = store_to_arrays(sign_store)
+        assert kind == ref_kind == "sign"
+        assert delta == ref_delta
+        assert lengths == ref_lengths
+        assert set(arrays) == set(ref_arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(arrays[name], ref_arrays[name])
+
+    def test_record_round_trip(self, small_fl, tmp_path):
+        mmap_record = with_sign_store(
+            small_fl["record"], backend="mmap", directory=str(tmp_path / "layout")
+        )
+        save_record(mmap_record, str(tmp_path / "saved"))
+        loaded = load_record(str(tmp_path / "saved"))
+        _assert_same_view(loaded.gradients, mmap_record.gradients)
+
+
+class TestWithSignStoreBackend:
+    def test_mmap_backend_matches_dict(self, small_fl, tmp_path):
+        dict_record = with_sign_store(small_fl["record"], backend="dict")
+        mmap_record = with_sign_store(
+            small_fl["record"], backend="mmap", directory=str(tmp_path / "layout")
+        )
+        assert isinstance(mmap_record.gradients, MmapSignGradientStore)
+        _assert_same_view(dict_record.gradients, mmap_record.gradients)
+
+    def test_default_backend_policy(self, small_fl):
+        import shutil
+
+        from repro.storage import set_default_sign_backend
+
+        previous = set_default_sign_backend("mmap")
+        record = None
+        try:
+            record = with_sign_store(small_fl["record"])
+            assert isinstance(record.gradients, MmapSignGradientStore)
+        finally:
+            set_default_sign_backend(previous)
+            if record is not None:
+                shutil.rmtree(record.gradients.directory, ignore_errors=True)
+
+    def test_unknown_backend_raises(self, small_fl):
+        with pytest.raises(ValueError):
+            with_sign_store(small_fl["record"], backend="sqlite")

@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 
 from repro.storage import (
     decode_gradient,
+    decode_round,
     encode_gradient,
+    encode_round,
     pack_signs,
+    pack_signs_batch,
     packed_size_bytes,
     storage_savings_ratio,
     ternarize,
@@ -108,6 +111,85 @@ class TestEncodeDecode:
         assert length == n
         decoded = decode_gradient(packed, length)
         assert set(np.unique(decoded)).issubset({-1.0, 0.0, 1.0})
+
+
+class TestDecodeRound:
+    """Bulk round decode must equal per-client unpacking, bit for bit."""
+
+    # The codec test matrix: every delta / vector-length shape the codec
+    # tests exercise, plus the degenerate cohorts.
+    DELTAS = [0.0, 1e-6, 1e-4, 1.0]
+    LENGTHS = [1, 3, 4, 5, 57, 101]
+
+    @pytest.mark.parametrize("delta", DELTAS)
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_identity_vs_per_client_unpack(self, delta, length):
+        rng = np.random.default_rng(length)
+        gradients = rng.normal(size=(5, length)) * 10.0 ** float(rng.integers(-6, 1))
+        packed, enc_length = encode_round(gradients, delta)
+        assert enc_length == length
+        decoded = decode_round(packed, length)
+        assert decoded.shape == (5, length)
+        assert decoded.dtype == np.float64
+        for i in range(5):
+            np.testing.assert_array_equal(
+                decoded[i], unpack_signs(packed[i], length).astype(np.float64)
+            )
+            np.testing.assert_array_equal(decoded[i], decode_gradient(packed[i], length))
+
+    def test_empty_cohort(self):
+        """A round with zero clients decodes to an empty (0, d) matrix."""
+        packed = np.empty((0, packed_size_bytes(7)), dtype=np.uint8)
+        decoded = decode_round(packed, 7)
+        assert decoded.shape == (0, 7)
+        assert decoded.dtype == np.float64
+
+    def test_zero_length_round(self):
+        packed, length = pack_signs_batch(np.zeros((3, 0), dtype=np.int8))
+        decoded = decode_round(packed, length)
+        assert decoded.shape == (3, 0)
+
+    def test_all_zero_signs(self):
+        """δ larger than every element stores all-zero directions."""
+        packed, length = encode_round(np.full((4, 9), 0.5), delta=1.0)
+        decoded = decode_round(packed, length)
+        np.testing.assert_array_equal(decoded, np.zeros((4, 9)))
+        for i in range(4):
+            np.testing.assert_array_equal(
+                decoded[i], unpack_signs(packed[i], length).astype(np.float64)
+            )
+
+    def test_round_trip_through_encode_round(self, rng):
+        g = rng.normal(size=(6, 33)) * 1e-3
+        packed, length = encode_round(g, 1e-4)
+        np.testing.assert_array_equal(
+            decode_round(packed, length), ternarize(g, 1e-4).astype(np.float64)
+        )
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            decode_round(np.zeros(4, dtype=np.uint8), 4)
+
+    def test_short_rows_raise(self):
+        with pytest.raises(ValueError):
+            decode_round(np.zeros((2, 1), dtype=np.uint8), 100)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            decode_round(np.zeros((2, 1), dtype=np.uint8), -1)
+
+    @given(st.integers(0, 6), st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_property(self, rows, length):
+        rng = np.random.default_rng(rows * 1000 + length)
+        signs = rng.choice([-1, 0, 1], size=(rows, length)).astype(np.int8)
+        packed, enc_length = pack_signs_batch(signs)
+        decoded = decode_round(packed, enc_length)
+        assert decoded.shape == (rows, length)
+        for i in range(rows):
+            np.testing.assert_array_equal(
+                decoded[i], unpack_signs(packed[i], length).astype(np.float64)
+            )
 
 
 class TestStorageAccounting:

@@ -5,9 +5,13 @@ import pytest
 
 from repro.storage import (
     FullGradientStore,
+    GradientStore,
     ModelCheckpointStore,
     SignGradientStore,
+    default_sign_backend,
+    encode_gradient,
     make_gradient_store,
+    set_default_sign_backend,
 )
 
 
@@ -98,6 +102,107 @@ class TestSignGradientStore:
     def test_negative_delta_raises(self):
         with pytest.raises(ValueError):
             SignGradientStore(delta=-1.0)
+
+
+class TestNbytesAccounting:
+    """The incremental nbytes cache must never drift from a full recount.
+
+    Regression guard: ``put_encoded`` used to accept non-flat payloads
+    and ``drop_client`` kept its own key scan, so a drop-then-reinsert
+    of a reshaped payload could desynchronize the cache.  Accounting now
+    funnels through one choke point; these sequences pin that down.
+    """
+
+    @pytest.mark.parametrize("kind", ["full", "sign"])
+    def test_recount_matches_through_mutation_sequence(self, kind, rng):
+        store = make_gradient_store(kind)
+        assert store.nbytes() == store.recount_nbytes() == 0
+        # puts, batched puts, overwrites, drops, reinsert of a dropped key
+        for t in range(3):
+            store.put_round(t, {c: rng.normal(size=40) for c in range(4)})
+            assert store.nbytes() == store.recount_nbytes()
+        store.put(1, 2, rng.normal(size=40))  # overwrite same key
+        assert store.nbytes() == store.recount_nbytes()
+        assert store.drop_client(2) == 3
+        assert store.nbytes() == store.recount_nbytes()
+        store.put(1, 2, rng.normal(size=40))  # reinsert dropped key
+        assert store.nbytes() == store.recount_nbytes()
+        store.drop_client(0)
+        store.drop_client(1)
+        store.drop_client(2)
+        store.drop_client(3)
+        assert store.nbytes() == store.recount_nbytes() == 0
+
+    def test_recount_matches_through_put_encoded(self, rng):
+        store = SignGradientStore()
+        packed, length = encode_gradient(rng.normal(size=101), 1e-6)
+        store.put_encoded(0, 0, packed, length)
+        assert store.nbytes() == store.recount_nbytes()
+        # Non-flat payloads are normalized, not stored verbatim.
+        store.put_encoded(0, 1, packed.reshape(1, -1), length)
+        assert store.nbytes() == store.recount_nbytes()
+        np.testing.assert_array_equal(store.get(0, 0), store.get(0, 1))
+        # overwrite an encoded record through the plain put path
+        store.put(0, 1, rng.normal(size=11))
+        assert store.nbytes() == store.recount_nbytes()
+        store.drop_client(1)
+        assert store.nbytes() == store.recount_nbytes()
+
+    def test_put_encoded_validates(self):
+        store = SignGradientStore()
+        with pytest.raises(ValueError):
+            store.put_encoded(0, 0, np.zeros(2, dtype=np.uint8), -1)
+        with pytest.raises(ValueError):
+            store.put_encoded(0, 0, np.zeros(2, dtype=np.uint8), 100)
+
+
+class TestGetRound:
+    """Bulk round decode equals per-client get, bit for bit."""
+
+    @pytest.mark.parametrize("kind", ["full", "sign"])
+    def test_bulk_matches_per_client(self, kind, rng):
+        store = make_gradient_store(kind)
+        assert store.supports_bulk_round
+        for t in range(3):
+            store.put_round(t, {c: rng.normal(size=33) * 1e-3 for c in range(5)})
+        for t in range(3):
+            bulk = store.get_round(t)
+            assert sorted(bulk) == store.clients_at(t)
+            for cid in bulk:
+                np.testing.assert_array_equal(bulk[cid], store.get(t, cid))
+
+    def test_empty_round(self, store):
+        assert store.get_round(17) == {}
+
+    def test_heterogeneous_lengths_fall_back(self, rng):
+        store = SignGradientStore()
+        store.put(0, 0, rng.normal(size=8))
+        store.put(0, 1, rng.normal(size=12))
+        bulk = store.get_round(0)
+        assert sorted(bulk) == [0, 1]
+        for cid in (0, 1):
+            np.testing.assert_array_equal(bulk[cid], store.get(0, cid))
+
+    def test_base_interface_default_loops_get(self, rng):
+        assert GradientStore.supports_bulk_round is False
+
+
+class TestSignBackendPolicy:
+    def test_default_is_dict(self):
+        assert default_sign_backend() == "dict"
+
+    def test_set_returns_previous_and_roundtrips(self):
+        previous = set_default_sign_backend("mmap")
+        try:
+            assert previous == "dict"
+            assert default_sign_backend() == "mmap"
+        finally:
+            set_default_sign_backend(previous)
+        assert default_sign_backend() == "dict"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            set_default_sign_backend("sqlite")
 
 
 class TestMakeGradientStore:
