@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-slo examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -35,6 +35,13 @@ bench-core:
 # store latency into benchmarks/results/service.json.
 bench-service:
 	pytest benchmarks/test_bench_service.py --benchmark-only
+
+# Erasure daemon SLO harness: steady / mass-GDPR burst / recovery
+# phases against the serving daemon (>=200 req/s sustained, bounded
+# p99, nonzero shed rate past saturation asserted), per-phase
+# latency/throughput/shed rows into benchmarks/results/slo.json.
+bench-slo:
+	pytest benchmarks/test_bench_slo.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

@@ -53,6 +53,7 @@ __all__ = [
     "run_noniid",
     "run_recovery_trace",
     "run_robust_agg",
+    "run_serve",
     "run_storage",
     "run_table1",
     "run_verification",
@@ -915,6 +916,131 @@ def run_communication(
     }
 
 
+# ----------------------------------------------------------------------
+# Erasure serving daemon under load (SLO harness)
+# ----------------------------------------------------------------------
+def run_serve(
+    scale: Optional[str] = None,
+    seed: int = 2024,
+    rate: Optional[float] = None,
+    duration_seconds: Optional[float] = None,
+    capacity: int = 16,
+    workers: int = 2,
+    burst_size: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Drive the erasure daemon through a three-phase load story.
+
+    Trains one workload, fronts its :class:`UnlearningService` with an
+    :class:`~repro.serving.ErasureDaemon`, and replays three seeded
+    open-loop arrival schedules against it:
+
+    1. ``steady`` — nominal traffic; the daemon should serve everything.
+    2. ``burst`` — a mass-GDPR burst several times the queue capacity;
+       admission control must shed the excess with retry-after hints
+       instead of growing the queue without bound.
+    3. ``recover`` — nominal traffic again; shedding should stop.
+
+    Records per-phase p50/p95/p99 latency, req/s, and shed rate (the
+    ``results/slo.json`` schema ``make bench-slo`` asserts against),
+    plus the daemon's final status and breaker transitions.
+    """
+    from repro.fl import VehicleClient
+    from repro.serving import ErasureDaemon, LoadGenerator, mass_gdpr_schedule, steady_schedule
+    from repro.unlearning import UnlearningService
+
+    config = config_for("mnist", scale, seed=seed)
+    defaults = {
+        "smoke": (120.0, 0.4),
+        "ci": (250.0, 1.0),
+        "paper": (400.0, 3.0),
+    }[config.scale]
+    rate = defaults[0] if rate is None else float(rate)
+    duration_seconds = (
+        defaults[1] if duration_seconds is None else float(duration_seconds)
+    )
+    if burst_size is None:
+        burst_size = 4 * max(capacity, 1)
+
+    # Stagger the erasable vehicles' joins across the run so successive
+    # erasures share replay prefixes (the amortization serving relies on).
+    population = list(range(config.num_clients // 2, config.num_clients))
+    last_join = max(2, config.num_rounds - 2)
+    joins = {
+        cid: min(2 + i * max(1, last_join // max(1, len(population))), last_join)
+        for i, cid in enumerate(population)
+    }
+    schedule = ParticipationSchedule.with_events(
+        range(config.num_clients), joins=joins
+    )
+    workload = build_workload(config, schedule=schedule)
+    record = train_workload(workload)
+    sign_record = with_sign_store(record, delta=config.delta)
+    service = UnlearningService(
+        record=sign_record,
+        model=workload.model,
+        clip_threshold=config.clip_threshold,
+        buffer_size=config.buffer_size,
+        refresh_period=config.refresh_period,
+    )
+    daemon = ErasureDaemon(
+        service,
+        capacity=capacity,
+        workers=workers,
+        default_deadline_seconds=deadline_seconds,
+    ).start()
+    generator = LoadGenerator(daemon)
+    third = max(1, len(population) // 3)
+    phases: List[Dict[str, Any]] = []
+    try:
+        phases.append(
+            generator.run(
+                steady_schedule(
+                    rate, duration_seconds, population[:third],
+                    seed=seed, key_prefix="steady",
+                ),
+                label="steady",
+            ).as_dict()
+        )
+        phases.append(
+            generator.run(
+                mass_gdpr_schedule(
+                    rate, duration_seconds, burst_size,
+                    population[third:2 * third],
+                    seed=seed + 1, key_prefix="burst",
+                ),
+                label="burst",
+            ).as_dict()
+        )
+        phases.append(
+            generator.run(
+                steady_schedule(
+                    rate, duration_seconds, population[2 * third:],
+                    seed=seed + 2, key_prefix="recover",
+                ),
+                label="recover",
+            ).as_dict()
+        )
+    finally:
+        daemon.stop(mode="drain")
+    status = daemon.status()
+    status["breaker_state"] = str(status["breaker_state"])
+    return {
+        "experiment": "serve",
+        "scale": config.scale,
+        "seed": seed,
+        "rate": rate,
+        "duration_seconds": duration_seconds,
+        "capacity": capacity,
+        "workers": workers,
+        "burst_size": burst_size,
+        "measured": phases,
+        "daemon": status,
+        "breaker_transitions": list(daemon.breaker.transitions),
+        "erased_clients": [float(c) for c in service.erased_clients],
+    }
+
+
 EXPERIMENT_RUNNERS = {
     "table1": run_table1,
     "fig1": run_fig1,
@@ -935,4 +1061,5 @@ EXPERIMENT_RUNNERS = {
     "robust_agg": run_robust_agg,
     "recovery_trace": run_recovery_trace,
     "communication": run_communication,
+    "serve": run_serve,
 }

@@ -35,12 +35,17 @@ class RetryOutcome:
     succeeded:
         False when every attempt raised
         :class:`~repro.faults.injection.TransientClientError`.
+    budget_exhausted:
+        True when the retry loop stopped early because the next backoff
+        would overrun the caller's total-deadline ``budget`` (see
+        :meth:`RetryPolicy.call`).  Implies ``succeeded is False``.
     """
 
     value: Any
     attempts: int
     total_delay: float
     succeeded: bool
+    budget_exhausted: bool = False
 
 
 class RetryPolicy:
@@ -91,12 +96,21 @@ class RetryPolicy:
         self,
         fn: Callable[[], Any],
         sleep: Optional[Callable[[float], None]] = None,
+        budget: Optional[float] = None,
     ) -> RetryOutcome:
         """Run ``fn`` with retries on ``TransientClientError``.
 
         Any other exception propagates immediately (it is not
         transient).  With ``sleep=None`` backoff is only accounted, not
         actually waited for.
+
+        ``budget`` (optional) is a total-deadline budget in seconds: the
+        loop gives up early — without sleeping — as soon as the next
+        backoff would push accumulated delay past it, returning an
+        outcome with ``budget_exhausted=True``.  A request whose
+        deadline is nearly spent thus fails fast instead of burning the
+        remainder in backoff.  ``budget=0`` allows the first attempt but
+        no retries.
         """
         schedule = self.delays()
         total_delay = 0.0
@@ -105,7 +119,12 @@ class RetryPolicy:
             try:
                 value = fn()
             except TransientClientError:
-                if attempt == self.max_attempts:
+                exhausted = (
+                    budget is not None
+                    and attempt < self.max_attempts
+                    and total_delay + schedule[attempt - 1] > budget
+                )
+                if attempt == self.max_attempts or exhausted:
                     if telemetry.enabled:
                         if attempt > 1:
                             telemetry.inc("faults_retries_total", attempt - 1)
@@ -115,6 +134,7 @@ class RetryPolicy:
                         attempts=attempt,
                         total_delay=total_delay,
                         succeeded=False,
+                        budget_exhausted=exhausted,
                     )
                 delay = schedule[attempt - 1]
                 total_delay += delay

@@ -1,0 +1,165 @@
+"""Circuit breaker — the daemon's fault-storm fuse.
+
+A burst of quarantined updates, storage corruption errors, or
+transient-failure storms from :mod:`repro.faults` means the substrate
+is unhealthy: letting every queued erasure replay against a rotting
+record multiplies the damage and burns the latency budget of requests
+that would fail anyway.  :class:`CircuitBreaker` implements the
+standard three-state machine:
+
+- **closed** — normal service; failures are counted over a sliding
+  window of recent outcomes.
+- **open** — tripped: the window's failure count crossed the
+  threshold.  The daemon stops executing erasures and degrades to its
+  configured mode (serve-stale or queue-only) until ``cooldown_seconds``
+  elapse.
+- **half-open** — after the cooldown one probe request is let through;
+  success closes the circuit, failure re-opens it (with a fresh
+  cooldown).
+
+The clock is injectable so tests (and the deterministic load harness)
+can drive trips and recoveries without real waiting.  Every transition
+feeds ``serving_breaker_transitions_total{to=...}`` and the current
+state is exported as the ``serving_breaker_state`` gauge
+(0 = closed, 1 = half-open, 2 = open) — see ``docs/METRICS.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List
+
+from repro.telemetry.core import current_telemetry
+
+__all__ = ["CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Sliding-window failure breaker with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Failures within the window that trip the circuit.
+    window:
+        Size of the sliding outcome window (most recent calls/signals).
+    cooldown_seconds:
+        How long the circuit stays open before a probe is allowed.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        window: int = 16,
+        cooldown_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if window < failure_threshold:
+            raise ValueError("window must be >= failure_threshold")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Ordered state transitions (new state names) since construction.
+        self.transitions: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append(state)
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("serving_breaker_transitions_total", 1, to=state)
+            telemetry.set_gauge("serving_breaker_state", _STATE_GAUGE[state])
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self._outcomes.clear()
+        self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when the cooldown
+        has elapsed (reading the state is what arms the probe)."""
+        with self._lock:
+            if (
+                self._state == OPEN
+                and self._clock() - self._opened_at >= self.cooldown_seconds
+            ):
+                self._transition(HALF_OPEN)
+            return self._state
+
+    def allow(self) -> bool:
+        """May an erasure be executed right now?
+
+        Closed: always.  Open: only once the cooldown has elapsed, and
+        then exactly one probe at a time (the half-open contract).
+        """
+        state = self.state
+        with self._lock:
+            if state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Fold a successful execution into the window.
+
+        In half-open state the success closes the circuit.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                self._outcomes.clear()
+                self._transition(CLOSED)
+            else:
+                self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Fold a failure (or an external fault signal) into the window.
+
+        Trips closed → open when the window's failure count reaches the
+        threshold; re-opens immediately from half-open (the probe
+        failed).
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            if self._state == OPEN:
+                return
+            self._outcomes.append(False)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures >= self.failure_threshold:
+                self._trip()
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open circuit admits a probe (0.0 otherwise)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.cooldown_seconds - elapsed)

@@ -1,0 +1,140 @@
+"""SLO accounting: latency percentiles, throughput, shed rate.
+
+One :class:`SloRecorder` per load phase folds every response into a
+:class:`SloReport` — the run-table row schema ``make bench-slo`` and
+``python -m repro.eval serve`` write to ``results/slo.json``.
+Percentiles use the deterministic nearest-rank definition (no
+interpolation), so a report is a pure function of the recorded
+latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SloRecorder", "SloReport", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Returns 0.0 for an empty sequence — an SLO over zero requests is
+    vacuously met.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+@dataclass
+class SloReport:
+    """One load phase's measured service levels.
+
+    Attributes
+    ----------
+    label:
+        Phase name (``steady`` / ``burst`` / ``recover`` ...).
+    duration_seconds:
+        Wall-clock window from first submission to last completion.
+    counts:
+        Responses by status (``ok``/``stale``/``rejected``/``deadline``/
+        ``error``).
+    requests_per_second:
+        Completed responses (any status) per second of the window.
+    ok_per_second:
+        Successfully served erasures per second.
+    shed_rate:
+        Rejected fraction of all responses (the load-shedding rate).
+    latency:
+        ``p50``/``p95``/``p99``/``max``/``mean`` seconds over requests
+        that received an ``ok`` or ``stale`` answer.
+    queue_wait:
+        Same percentiles over time spent waiting for a worker.
+    """
+
+    label: str
+    duration_seconds: float
+    counts: Dict[str, int]
+    requests_per_second: float
+    ok_per_second: float
+    shed_rate: float
+    latency: Dict[str, float]
+    queue_wait: Dict[str, float]
+
+    @property
+    def total(self) -> int:
+        """All responses recorded in this phase."""
+        return sum(self.counts.values())
+
+    def as_dict(self) -> Dict:
+        """JSON-ready run-table row."""
+        return {
+            "label": self.label,
+            "duration_seconds": self.duration_seconds,
+            "counts": dict(self.counts),
+            "total": self.total,
+            "requests_per_second": self.requests_per_second,
+            "ok_per_second": self.ok_per_second,
+            "shed_rate": self.shed_rate,
+            "latency": dict(self.latency),
+            "queue_wait": dict(self.queue_wait),
+        }
+
+
+def _summary(values: List[float]) -> Dict[str, float]:
+    return {
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values) if values else 0.0,
+        "mean": sum(values) / len(values) if values else 0.0,
+    }
+
+
+@dataclass
+class SloRecorder:
+    """Accumulates per-response observations for one load phase."""
+
+    label: str = "load"
+    _counts: Dict[str, int] = field(default_factory=dict)
+    _latencies: List[float] = field(default_factory=list)
+    _queue_waits: List[float] = field(default_factory=list)
+    _duration: float = 0.0
+
+    def record(
+        self,
+        status: str,
+        latency_seconds: float,
+        queue_seconds: Optional[float] = None,
+    ) -> None:
+        """Fold one response in; served answers contribute latency."""
+        self._counts[status] = self._counts.get(status, 0) + 1
+        if status in ("ok", "stale"):
+            self._latencies.append(float(latency_seconds))
+            if queue_seconds is not None:
+                self._queue_waits.append(float(queue_seconds))
+
+    def finish(self, duration_seconds: float) -> None:
+        """Close the measurement window."""
+        self._duration = max(float(duration_seconds), 1e-9)
+
+    def report(self) -> SloReport:
+        """Build the immutable report for this phase."""
+        total = sum(self._counts.values())
+        ok = self._counts.get("ok", 0)
+        rejected = self._counts.get("rejected", 0)
+        return SloReport(
+            label=self.label,
+            duration_seconds=self._duration,
+            counts=dict(self._counts),
+            requests_per_second=total / self._duration,
+            ok_per_second=ok / self._duration,
+            shed_rate=rejected / total if total else 0.0,
+            latency=_summary(self._latencies),
+            queue_wait=_summary(self._queue_waits),
+        )

@@ -45,6 +45,7 @@ from repro.telemetry.core import (
 )
 from repro.telemetry.exporters import (
     JsonlSink,
+    PrometheusFlusher,
     export_csv,
     export_prometheus,
     format_run_summary,
@@ -64,6 +65,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
+    "PrometheusFlusher",
     "Telemetry",
     "current_telemetry",
     "export_csv",

@@ -302,6 +302,62 @@ _ALL_SPECS = [
         "Erasure requests served, by arrival mode (single|batch).",
         labels=("mode",),
     ),
+    # ----------------------------------------------------------- serving.daemon
+    _spec(
+        "serving_requests_total", COUNTER, "requests", "repro.serving.daemon",
+        "Daemon responses by arrival kind (single|batch) and status "
+        "(ok|stale|rejected|deadline|error).",
+        labels=("kind", "status"),
+    ),
+    _spec(
+        "serving_request_seconds", HISTOGRAM, "seconds", "repro.serving.daemon",
+        "Enqueue-to-answer latency of served (ok|stale) requests.",
+    ),
+    _spec(
+        "serving_queue_wait_seconds", HISTOGRAM, "seconds", "repro.serving.daemon",
+        "Time admitted requests spent waiting for a worker.",
+    ),
+    _spec(
+        "serving_queue_depth", GAUGE, "requests", "repro.serving.daemon",
+        "Requests currently waiting in the admission queue.",
+    ),
+    _spec(
+        "serving_shed_total", COUNTER, "requests", "repro.serving.daemon",
+        "Requests rejected at admission because the queue was full.",
+    ),
+    _spec(
+        "serving_deadline_aborts_total", COUNTER, "requests", "repro.serving.daemon",
+        "Replays aborted cooperatively because the request deadline "
+        "expired mid-replay.",
+    ),
+    _spec(
+        "serving_idempotent_hits_total", COUNTER, "requests", "repro.serving.daemon",
+        "Submissions deduplicated onto an earlier request's future by "
+        "their idempotency key.",
+    ),
+    _spec(
+        "serving_fault_signals_total", COUNTER, "events", "repro.serving.daemon",
+        "External fault signals fed into the breaker, by kind.",
+        labels=("kind",),
+    ),
+    # ---------------------------------------------------------- serving.breaker
+    _spec(
+        "serving_breaker_state", GAUGE, "state", "repro.serving.breaker",
+        "Circuit-breaker state (0 = closed, 1 = half-open, 2 = open).",
+    ),
+    _spec(
+        "serving_breaker_transitions_total", COUNTER, "events",
+        "repro.serving.breaker",
+        "Breaker state transitions, by destination state "
+        "(to=closed|half_open|open).",
+        labels=("to",),
+    ),
+    # ------------------------------------------------------ telemetry.exporters
+    _spec(
+        "telemetry_flushes_total", COUNTER, "flushes",
+        "repro.telemetry.exporters",
+        "Periodic Prometheus snapshot flushes written by PrometheusFlusher.",
+    ),
     # ---------------------------------------------------------------- faults.retry
     _spec(
         "faults_retries_total", COUNTER, "attempts", "repro.faults.retry",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import csv
 import json
 import os
+import threading
 from typing import Dict, Iterable, List, Optional
 
 from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM, METRICS
@@ -28,6 +29,7 @@ from repro.telemetry.registry import DEFAULT_BUCKETS, MetricsRegistry
 
 __all__ = [
     "JsonlSink",
+    "PrometheusFlusher",
     "export_csv",
     "export_prometheus",
     "format_run_summary",
@@ -205,6 +207,78 @@ def write_prometheus(registry: MetricsRegistry, path: str) -> None:
         os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(export_prometheus(registry))
+
+
+class PrometheusFlusher:
+    """Keep a Prometheus text file live for a long-running process.
+
+    The batch runners export metrics once, at exit — useless for a
+    daemon that serves for hours: a scrape mid-run would read a stale
+    (or empty) snapshot.  The flusher rewrites ``path`` from the
+    registry every ``interval_seconds`` on a background thread, and
+    once more on :meth:`stop`, so the exported text always reflects the
+    live counters (the parity the tests assert against the final run
+    summary).  Each write lands atomically (temp file +
+    ``os.replace``), so a concurrent scrape never reads a torn file.
+
+    Parameters
+    ----------
+    registry:
+        The live :class:`~repro.telemetry.registry.MetricsRegistry`.
+    path:
+        Destination Prometheus text file.
+    interval_seconds:
+        Delay between periodic flushes.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str,
+        interval_seconds: float = 1.0,
+    ):
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.registry = registry
+        self.path = path
+        self.interval_seconds = interval_seconds
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Flushes written so far (mirrors ``telemetry_flushes_total``).
+        self.flushes = 0
+
+    def flush_now(self) -> None:
+        """Write one atomic snapshot immediately."""
+        self.registry.inc("telemetry_flushes_total", 1)
+        self.flushes += 1
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(export_prometheus(self.registry))
+        os.replace(tmp, self.path)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.flush_now()
+
+    def start(self) -> "PrometheusFlusher":
+        """Start the periodic background flush (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._loop, daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, final_flush: bool = True) -> None:
+        """Stop the background thread; write one last snapshot by default."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if final_flush:
+            self.flush_now()
 
 
 # ----------------------------------------------------------------------

@@ -350,6 +350,17 @@ class SignRecoveryUnlearner(UnlearningMethod):
         rounds skipped this way are reported via
         ``last_cached_prefix_rounds``, *not* in the result stats —
         cached and cold runs return byte-identical results.
+    cancel_check:
+        Optional no-arg callable invoked *between* replay rounds — the
+        cooperative cancellation checkpoint.  Raising from it (e.g. a
+        :class:`~repro.serving.requests.DeadlineExceededError` from the
+        serving daemon) aborts the replay at a committed round
+        boundary: the rounds already replayed are salvaged into the
+        prefix cache (they are exactly the snapshots a completed run
+        would have committed), so an aborted request wastes nothing
+        and the next request over the same forget set resumes them —
+        recovering parameters byte-identical to an uninterrupted cold
+        replay.
     """
 
     name = "ours"
@@ -365,6 +376,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         prefix_cache: Optional[ReplayPrefixCache] = None,
+        cancel_check: Optional[Callable[[], None]] = None,
     ):
         if refresh_period < 1:
             raise ValueError("refresh_period must be >= 1")
@@ -378,6 +390,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
         self.checkpoint_every = checkpoint_every
         self.execution = resolve_execution(backend, workers)
         self.prefix_cache = prefix_cache
+        self.cancel_check = cancel_check
         #: Replay rounds the last :meth:`unlearn` call skipped thanks to
         #: a prefix-cache hit (0 on a cold run).
         self.last_cached_prefix_rounds = 0
@@ -801,6 +814,10 @@ class SignRecoveryUnlearner(UnlearningMethod):
                         "recovery_parallel_workers", self.execution.workers
                     )
             for t in range(start_round, record.num_rounds):
+                if self.cancel_check is not None:
+                    # Cooperative cancellation checkpoint: only between
+                    # rounds, so an abort always lands on committed state.
+                    self.cancel_check()
                 if self.prefix_cache is not None:
                     # Committed state at the *start* of round t — the
                     # resume point a later superset request restores.
@@ -917,6 +934,21 @@ class SignRecoveryUnlearner(UnlearningMethod):
                         commit(t)
                 if self.round_callback is not None:
                     self.round_callback(t, recovered.copy())
+        except Exception:
+            # Abort (deadline, cancellation, substrate fault): every
+            # snapshot collected so far is committed start-of-round
+            # state, so salvaging it can never expose a half-replayed
+            # round — the next request resumes the prefix and recovers
+            # parameters byte-identical to a cold replay.
+            if self.prefix_cache is not None and snapshots:
+                self.prefix_cache.store(
+                    record,
+                    self._cache_base_key(record),
+                    frozenset(forget_set),
+                    forget_round,
+                    snapshots,
+                )
+            raise
         finally:
             if executor is not None:
                 executor.close()

@@ -34,8 +34,9 @@ recovered parameters are byte-identical to serving each request cold.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -107,12 +108,28 @@ class UnlearningService:
     cache_max_entries: int = 8
     _erased: List[int] = field(default_factory=list)
     _prefix_cache: Optional[ReplayPrefixCache] = field(default=None, repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self._prefix_cache is None:
             self._prefix_cache = ReplayPrefixCache(
                 max_entries=self.cache_max_entries
             )
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The service-level lock serializing erasures and snapshots.
+
+        Every mutating workflow (:meth:`handle_erasure_request`,
+        :meth:`handle_erasure_batch`, :meth:`scan_and_purge_attackers`)
+        and :meth:`persist` take it, so a checkpoint written while
+        requests are in flight always captures a committed state —
+        never a record whose store is mid-purge.  Reentrant, so batch
+        workflows can nest single erasures.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # internals
@@ -122,28 +139,40 @@ class UnlearningService:
         """The replay prefix cache shared by this service's requests."""
         return self._prefix_cache
 
-    def _unlearner(self) -> SignRecoveryUnlearner:
+    def _unlearner(
+        self, cancel_check: Optional[Callable[[], None]] = None
+    ) -> SignRecoveryUnlearner:
         return SignRecoveryUnlearner(
             clip_threshold=self.clip_threshold,
             buffer_size=self.buffer_size,
             refresh_period=self.refresh_period,
             prefix_cache=self._prefix_cache,
+            cancel_check=cancel_check,
         )
 
-    def _erase(self, client_ids: Sequence[int], mode: str = "single") -> ErasureOutcome:
-        client_ids = sorted(set(int(c) for c in client_ids))
-        already = set(self._erased) & set(client_ids)
-        if already:
-            raise ValueError(f"clients {sorted(already)} were already erased")
-        # Previously erased clients stay in the forget set: their
-        # gradients are purged, and the counterfactual model must keep
-        # excluding them.
-        forget = sorted(set(client_ids) | set(self._erased))
-        unlearner = self._unlearner()
-        result = unlearner.unlearn(self.record, forget, self.model)
-        purged = sum(self.record.gradients.drop_client(cid) for cid in client_ids)
-        self._erased.extend(client_ids)
-        self.record.metadata["erased_clients"] = sorted(self._erased)
+    def _erase(
+        self,
+        client_ids: Sequence[int],
+        mode: str = "single",
+        cancel_check: Optional[Callable[[], None]] = None,
+    ) -> ErasureOutcome:
+        with self._lock:
+            client_ids = sorted(set(int(c) for c in client_ids))
+            already = set(self._erased) & set(client_ids)
+            if already:
+                raise ValueError(f"clients {sorted(already)} were already erased")
+            # Previously erased clients stay in the forget set: their
+            # gradients are purged, and the counterfactual model must keep
+            # excluding them.
+            forget = sorted(set(client_ids) | set(self._erased))
+            unlearner = self._unlearner(cancel_check)
+            # An abort here (deadline, cancellation) propagates before any
+            # state below mutates: nothing is purged, nobody is marked
+            # erased, and the partial replay lives on in the prefix cache.
+            result = unlearner.unlearn(self.record, forget, self.model)
+            purged = sum(self.record.gradients.drop_client(cid) for cid in client_ids)
+            self._erased.extend(client_ids)
+            self.record.metadata["erased_clients"] = sorted(self._erased)
         telemetry = current_telemetry()
         if telemetry.enabled:
             telemetry.inc("service_erasure_requests_total", 1, mode=mode)
@@ -195,12 +224,23 @@ class UnlearningService:
     # ------------------------------------------------------------------
     # the three §IV-A workflows
     # ------------------------------------------------------------------
-    def handle_erasure_request(self, client_id: int) -> ErasureOutcome:
-        """Scenario 1: a vehicle invokes its right to be forgotten."""
-        return self._erase([client_id])
+    def handle_erasure_request(
+        self,
+        client_id: int,
+        cancel_check: Optional[Callable[[], None]] = None,
+    ) -> ErasureOutcome:
+        """Scenario 1: a vehicle invokes its right to be forgotten.
+
+        ``cancel_check`` (optional) is called between replay rounds; it
+        may raise to abort cooperatively — see
+        :class:`~repro.unlearning.recovery.SignRecoveryUnlearner`.
+        """
+        return self._erase([client_id], cancel_check=cancel_check)
 
     def handle_erasure_batch(
-        self, client_ids: Sequence[int]
+        self,
+        client_ids: Sequence[int],
+        cancel_check: Optional[Callable[[], None]] = None,
     ) -> List[ErasureOutcome]:
         """Serve N queued right-to-be-forgotten requests as one batch.
 
@@ -214,20 +254,35 @@ class UnlearningService:
         outcome is **byte-identical** to serving its request alone on a
         fresh service (``tests/test_service_cache.py``); only the work
         is amortized, as ``cached_prefix_rounds`` reports.
+
+        ``cancel_check`` (optional) aborts cooperatively between replay
+        rounds; already-completed requests in the batch stay erased (an
+        abort never rolls back committed erasures).
         """
         ids = [int(c) for c in client_ids]
         if not ids:
             return []
-        self._plan_batch(ids)
-        return [self._erase([cid], mode="batch") for cid in ids]
+        # Hold the lock across plan + serve so the upfront validation
+        # stays true for the whole batch (no interleaved erasure can
+        # invalidate the plan mid-batch).
+        with self._lock:
+            self._plan_batch(ids)
+            return [
+                self._erase([cid], mode="batch", cancel_check=cancel_check)
+                for cid in ids
+            ]
 
-    def handle_departed_vehicle(self, client_id: int) -> ErasureOutcome:
+    def handle_departed_vehicle(
+        self,
+        client_id: int,
+        cancel_check: Optional[Callable[[], None]] = None,
+    ) -> ErasureOutcome:
         """Scenario 2: erase a vehicle that dropped out of / left FL.
 
         Works whether or not the ledger shows a leave — a vehicle that
         silently dropped out for good looks identical to the server.
         """
-        return self._erase([client_id])
+        return self._erase([client_id], cancel_check=cancel_check)
 
     def scan_and_purge_attackers(
         self, z_threshold: float = 1.5
@@ -263,8 +318,15 @@ class UnlearningService:
         return self.record.storage_bytes()
 
     def persist(self, directory: str) -> None:
-        """Checkpoint the (possibly already-purged) record to disk."""
-        save_record(self.record, directory)
+        """Checkpoint the (possibly already-purged) record to disk.
+
+        Snapshots under the service lock: a checkpoint taken while
+        erasure requests are in flight waits for the current request to
+        commit, so the written record (and its manifest) is always a
+        consistent post-erasure state — never a store mid-purge.
+        """
+        with self._lock:
+            save_record(self.record, directory)
 
     @classmethod
     def restore(

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.iov",
     "repro.nn",
     "repro.parallel",
+    "repro.serving",
     "repro.storage",
     "repro.telemetry",
     "repro.unlearning",

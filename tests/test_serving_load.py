@@ -1,0 +1,97 @@
+"""Sustained-load scenario against the erasure daemon (``slow`` marker).
+
+A scaled-down version of the ``make bench-slo`` story that still runs
+real wall-clock load: a steady phase that must be served cleanly, a
+mass-GDPR burst that must shed (bounded queue, typed rejections, no
+crash), and a recovery phase that must be clean again.  Tier-1 stays
+fast because the marker keeps it out of the default selection — run
+with ``pytest -m slow``.
+"""
+
+import pytest
+
+from repro.datasets import make_synthetic_mnist, partition_iid
+from repro.fl import FederatedSimulation, ParticipationSchedule, VehicleClient
+from repro.nn import mlp
+from repro.serving import (
+    ErasureDaemon,
+    LoadGenerator,
+    mass_gdpr_schedule,
+    steady_schedule,
+)
+from repro.storage import SignGradientStore
+from repro.unlearning import UnlearningService
+from repro.utils.rng import SeedSequenceTree
+
+NUM_CLIENTS = 16
+NUM_ROUNDS = 10
+IMAGE = 8
+CLIP = 5.0
+ERASABLE = list(range(4, NUM_CLIENTS))
+JOINS = {cid: 2 + (i % 7) for i, cid in enumerate(ERASABLE)}
+
+
+def build_service(seed=11):
+    tree = SeedSequenceTree(seed)
+    data = make_synthetic_mnist(200, tree.rng("data"), image_size=IMAGE)
+    shards = partition_iid(data, NUM_CLIENTS, tree.rng("part"))
+    clients = [
+        VehicleClient(i, shards[i], tree.rng(f"c{i}"), batch_size=16)
+        for i in range(NUM_CLIENTS)
+    ]
+    model = mlp(tree.rng("model"), IMAGE * IMAGE, 10, hidden=8)
+    schedule = ParticipationSchedule.with_events(range(NUM_CLIENTS), joins=JOINS)
+    sim = FederatedSimulation(
+        model, clients, 2e-3, schedule=schedule,
+        gradient_store=SignGradientStore(),
+    )
+    record = sim.run(NUM_ROUNDS)
+    return UnlearningService(record=record, model=model, clip_threshold=CLIP)
+
+
+@pytest.mark.slow
+def test_daemon_survives_burst_and_recovers():
+    service = build_service()
+    daemon = ErasureDaemon(service, capacity=3, workers=2).start()
+    generator = LoadGenerator(daemon)
+    try:
+        steady = generator.run(
+            steady_schedule(
+                150.0, 0.5, ERASABLE[:2], seed=11,
+                duplicate_fraction=0.9, key_prefix="steady",
+            ),
+            label="steady",
+        )
+        burst = generator.run(
+            mass_gdpr_schedule(
+                40.0, 0.5, 10, ERASABLE[2:10], seed=12, key_prefix="burst",
+            ),
+            label="burst",
+        )
+        recover = generator.run(
+            steady_schedule(
+                150.0, 0.5, ERASABLE[10:], seed=13,
+                duplicate_fraction=0.9, key_prefix="recover",
+            ),
+            label="recover",
+        )
+    finally:
+        daemon.stop(mode="drain")
+
+    # Steady traffic is served without shedding or failures.
+    assert steady.counts.get("ok", 0) > 0
+    assert steady.counts.get("error", 0) == 0
+    assert steady.shed_rate == 0.0
+
+    # The burst overwhelms a capacity-3 queue: admission control sheds
+    # the excess instead of queueing without bound, and nothing crashes.
+    assert burst.shed_rate > 0.0
+    assert burst.counts.get("rejected", 0) > 0
+    assert burst.counts.get("error", 0) == 0
+
+    # After the burst the daemon is healthy again.
+    assert recover.shed_rate == 0.0
+    assert recover.counts.get("error", 0) == 0
+    status = daemon.status()
+    assert status["queue_depth"] == 0
+    assert status["breaker_state"] == "closed"
