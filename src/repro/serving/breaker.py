@@ -97,17 +97,20 @@ class CircuitBreaker:
         self._outcomes.clear()
         self._transition(OPEN)
 
+    def _advance_cooldown_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(HALF_OPEN)
+
     # ------------------------------------------------------------------
     @property
     def state(self) -> str:
         """Current state, advancing open → half-open when the cooldown
         has elapsed (reading the state is what arms the probe)."""
         with self._lock:
-            if (
-                self._state == OPEN
-                and self._clock() - self._opened_at >= self.cooldown_seconds
-            ):
-                self._transition(HALF_OPEN)
+            self._advance_cooldown_locked()
             return self._state
 
     def allow(self) -> bool:
@@ -115,15 +118,38 @@ class CircuitBreaker:
 
         Closed: always.  Open: only once the cooldown has elapsed, and
         then exactly one probe at a time (the half-open contract).
+
+        Every ``True`` must be answered with exactly one of
+        :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`release_probe`, or a granted probe slot leaks and the
+        breaker wedges half-open.
         """
-        state = self.state
+        # Cooldown advance and the decision happen under one lock
+        # acquisition: deciding from a state read taken under an earlier
+        # acquisition could let a request through a breaker that tripped
+        # in between.
         with self._lock:
-            if state == CLOSED:
+            self._advance_cooldown_locked()
+            if self._state == CLOSED:
                 return True
             if self._state == HALF_OPEN and not self._probe_in_flight:
                 self._probe_in_flight = True
                 return True
             return False
+
+    def release_probe(self) -> None:
+        """Return an :meth:`allow`-granted probe slot without a verdict.
+
+        For executions that end in a way that says nothing about
+        substrate health — a deadline abort, a client asking for
+        something invalid.  The half-open probe slot reopens so the
+        next request can probe; without this the breaker would stay
+        half-open rejecting everything forever.  No-op outside
+        half-open (closed-state grants hold no probe slot).
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
 
     def record_success(self) -> None:
         """Fold a successful execution into the window.

@@ -28,7 +28,10 @@ request loop built for sustained load:
   until the cooldown) instead of failing hard.
 - **Idempotency** — requests carrying a key are deduplicated: a
   retried submission attaches to the original's response future, so
-  client retries never double-erase.
+  client retries never double-erase.  Only in-flight and successful
+  outcomes are cached; a request that ends in rejection, deadline, or
+  error drops its key, so the keyed retry re-executes (picking up any
+  salvaged replay prefix) instead of replaying the stored failure.
 
 Erasure execution itself is serialized by the service's internal lock
 (the record, erased-set, and prefix cache are one shared state);
@@ -269,7 +272,9 @@ class ErasureDaemon:
         request cannot be admitted: :class:`RejectedError` on a full
         queue or shutdown, :class:`DeadlineExceededError` when the
         deadline is already expired at enqueue.  A duplicate ``key``
-        returns the original submission's future (no second erasure).
+        returns the original submission's future (no second erasure)
+        while that submission is in flight or succeeded; failed
+        outcomes are not cached, so retrying a failed key re-executes.
         """
         if isinstance(client_ids, int):
             ids = (client_ids,)
@@ -398,6 +403,16 @@ class ErasureDaemon:
                 "serving_request_seconds", self._clock() - ticket.enqueued_at
             )
         if error is not None:
+            # Failures are not cached: drop the key (before resolving,
+            # so a retry never races onto a future already known dead)
+            # and the client's retry re-executes the erasure — e.g. a
+            # deadline-aborted request's salvaged prefix makes the
+            # keyed retry cheap instead of replaying the stored error.
+            key = ticket.request.key
+            if key is not None:
+                with self._cond:
+                    if self._keys.get(key) is ticket.future:
+                        del self._keys[key]
             ticket.future.set_exception(error)
         else:
             ticket.future.set_result(response)
@@ -497,12 +512,19 @@ class ErasureDaemon:
                 outcomes = run()
         except DeadlineExceededError as exc:
             # The replay aborted at a committed round boundary; the
-            # salvaged prefix stays in the service's cache.
+            # salvaged prefix stays in the service's cache.  Says
+            # nothing about substrate health: if this execution held
+            # the half-open probe slot, return it undecided so the next
+            # request can probe instead of the breaker wedging.
+            self.breaker.release_probe()
             if telemetry.enabled:
                 telemetry.inc("serving_deadline_aborts_total")
             self._finish(ticket, "deadline", error=exc)
             return
         except _CLIENT_ERRORS as exc:
+            # The client asked for something invalid — no substrate
+            # verdict either way; release any held probe slot.
+            self.breaker.release_probe()
             self._finish(ticket, "error", error=exc)
             return
         except Exception as exc:  # substrate fault: feed the breaker

@@ -266,19 +266,20 @@ class LoadGenerator:
         for i, (arrival, submitted, future) in enumerate(pending):
             try:
                 response = future.result()
+                status, queue_seconds = response.status, response.queue_seconds
             except DeadlineExceededError:
-                recorder.record("deadline", completed_at[i] - submitted)
-                continue
+                status, queue_seconds = "deadline", None
             except RejectedError:
-                recorder.record("rejected", completed_at[i] - submitted)
-                continue
+                status, queue_seconds = "rejected", None
             except Exception:
-                recorder.record("error", completed_at[i] - submitted)
-                continue
-            recorder.record(
-                response.status,
-                completed_at[i] - submitted,
-                queue_seconds=response.queue_seconds,
-            )
+                status, queue_seconds = "error", None
+            # result() can return before the done-callback stamped the
+            # completion (set_result wakes waiters first) — fall back to
+            # now, which is within the callback's own scheduling jitter.
+            latency = completed_at.get(i, self._clock()) - submitted
+            if queue_seconds is None:
+                recorder.record(status, latency)
+            else:
+                recorder.record(status, latency, queue_seconds=queue_seconds)
         recorder.finish(self._clock() - started)
         return recorder.report()

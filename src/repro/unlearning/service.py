@@ -258,6 +258,16 @@ class UnlearningService:
         ``cancel_check`` (optional) aborts cooperatively between replay
         rounds; already-completed requests in the batch stay erased (an
         abort never rolls back committed erasures).
+
+        Batches are **idempotent over already-erased ids**: ids the
+        service has already erased are skipped (with no outcome) rather
+        than rejected, so resubmitting an aborted batch verbatim
+        completes its unserved suffix — a deadline abort after request
+        ``k`` commits leaves ``k`` ids erased, and the retry serves only
+        the rest.  A fully-served resubmission returns one no-op outcome
+        carrying the current counterfactual parameters
+        (``forgotten == []``).  Single-request erasure keeps rejecting
+        double erasure with ``ValueError``.
         """
         ids = [int(c) for c in client_ids]
         if not ids:
@@ -266,10 +276,34 @@ class UnlearningService:
         # stays true for the whole batch (no interleaved erasure can
         # invalidate the plan mid-batch).
         with self._lock:
-            self._plan_batch(ids)
+            erased = set(self._erased)
+            fresh = [c for c in ids if c not in erased]
+            skipped = sorted(set(ids) & erased)
+            if skipped:
+                _log.info(
+                    "batch erasure: skipping already-erased clients %s "
+                    "(idempotent resubmission)", skipped,
+                )
+            if not fresh:
+                # The whole batch was already served (a retry of a
+                # completed batch whose response was lost): answer with
+                # the current counterfactual state — a cache-hot replay
+                # of the standing forget set, nothing new erased.
+                unlearner = self._unlearner(cancel_check)
+                result = unlearner.unlearn(self.record, sorted(erased), self.model)
+                return [
+                    ErasureOutcome(
+                        forgotten=[],
+                        params=result.params,
+                        result=result,
+                        purged_records=0,
+                        cached_prefix_rounds=unlearner.last_cached_prefix_rounds,
+                    )
+                ]
+            self._plan_batch(fresh)
             return [
                 self._erase([cid], mode="batch", cancel_check=cancel_check)
-                for cid in ids
+                for cid in fresh
             ]
 
     def handle_departed_vehicle(

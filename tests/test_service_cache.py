@@ -228,12 +228,49 @@ class TestBatchValidation:
         assert service.erased_clients == []
         assert service.record.gradients.nbytes() == before
 
-    def test_already_erased_rejected_before_any_erasure(self):
+    def test_already_erased_skipped_idempotently(self):
+        # Batch resubmission is idempotent: already-erased ids are
+        # skipped (no outcome), not rejected — only single-request
+        # erasure still raises on double erasure.
         service = build_service(3)
         service.handle_erasure_request(5)
+        outcomes = service.handle_erasure_batch([6, 5])
+        assert [o.forgotten for o in outcomes] == [[6]]
+        assert service.erased_clients == [5, 6]
         with pytest.raises(ValueError, match="already erased"):
-            service.handle_erasure_batch([6, 5])
+            service.handle_erasure_request(5)
+
+    def test_fully_served_resubmission_returns_current_state(self):
+        service = build_service(3)
+        outcomes = service.handle_erasure_batch([5, 6])
+        retry = service.handle_erasure_batch([5, 6])
+        # One no-op outcome carrying the standing counterfactual
+        # parameters, byte-identical to the last real erasure's.
+        assert len(retry) == 1
+        assert retry[0].forgotten == []
+        assert retry[0].purged_records == 0
+        assert retry[0].params.tobytes() == outcomes[-1].params.tobytes()
+        assert service.erased_clients == [5, 6]
+
+    def test_aborted_batch_completes_on_verbatim_resubmission(self):
+        # The serving-layer scenario: a deadline abort mid-batch leaves
+        # the already-committed prefix erased; resubmitting the SAME
+        # batch must serve the unserved suffix instead of raising.
+        service = build_service(3)
+
+        def cancel_after_first_commit():
+            if service.erased_clients:
+                raise TimeoutError("deadline expired mid-batch")
+
+        with pytest.raises(TimeoutError):
+            service.handle_erasure_batch(
+                [5, 6], cancel_check=cancel_after_first_commit
+            )
         assert service.erased_clients == [5]
+        outcomes = service.handle_erasure_batch([5, 6])
+        assert [o.forgotten for o in outcomes] == [[6]]
+        assert service.erased_clients == [5, 6]
+        assert_outcome_matches(outcomes[-1], cold_reference(3, [5, 6]))
 
 
 # ----------------------------------------------------------------------

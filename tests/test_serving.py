@@ -192,6 +192,28 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_seconds=-1)
 
+    def test_release_probe_reopens_the_probe_slot(self):
+        # A probe that ends without a substrate verdict (deadline
+        # abort, client error) must return its slot, or the breaker
+        # wedges half-open rejecting everything forever.
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()
+        breaker.release_probe()      # probe ended undecided
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # slot reopened for the next request
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_release_probe_outside_half_open_is_a_noop(self):
+        breaker = self.make(FakeClock())
+        breaker.release_probe()
+        assert breaker.state == CLOSED and breaker.allow()
+
 
 # ----------------------------------------------------------------------
 # admission control edge cases
@@ -256,6 +278,46 @@ class TestAdmission:
         with pytest.raises(RejectedError) as exc:
             daemon.submit(4)
         assert exc.value.reason == "shutdown"
+
+    def test_failed_outcome_drops_its_idempotency_key(self, service):
+        # Only in-flight and successful outcomes are cached: a request
+        # that ends in a deadline abort must drop its key, or the
+        # keyed retry replays the stored exception instead of
+        # re-executing the erasure.
+        clock = FakeClock()
+        daemon = ErasureDaemon(service, capacity=8, workers=1, clock=clock)
+        future = daemon.submit(4, key="k", deadline=Deadline(1.0, clock=clock))
+        clock.advance(2.0)  # expires while queued
+        daemon.stop(mode="drain")
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=1)
+        assert "k" not in daemon._keys
+
+    def test_keyed_retry_after_failure_reexecutes(self, service):
+        calls = {"n": 0}
+        original = service.handle_erasure_request
+
+        def flaky_once(client_id, cancel_check=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientClientError("transient substrate fault")
+            return original(client_id, cancel_check=cancel_check)
+
+        service.handle_erasure_request = flaky_once
+        daemon = ErasureDaemon(service, capacity=8, workers=1).start()
+        try:
+            first = daemon.submit(4, key="k")
+            with pytest.raises(TransientClientError):
+                first.result(timeout=10)
+            # The key was dropped before the failure resolved, so the
+            # retry gets a fresh submission, not the cached exception.
+            second = daemon.submit(4, key="k")
+            assert second is not first
+            assert second.result(timeout=10).status == "ok"
+        finally:
+            daemon.stop(mode="drain")
+        assert calls["n"] == 2
+        assert service.erased_clients == [4]
 
 
 # ----------------------------------------------------------------------
@@ -398,6 +460,54 @@ class TestDegradedModes:
         daemon.signal_fault(kind="corruption")
         assert breaker.state == OPEN
         assert daemon.status()["breaker_state"] == OPEN
+
+    def test_client_error_probe_releases_the_slot(self, service):
+        # Half-open probe granted to a request that ends in a client
+        # error: the slot must be released so the NEXT request probes —
+        # otherwise the breaker wedges half-open and (in serve_stale
+        # mode) every future request is answered stale forever.
+        service.handle_erasure_request(4)  # makes a later 4 a client error
+        breaker = CircuitBreaker(failure_threshold=1, window=4, cooldown_seconds=0.0)
+        daemon = ErasureDaemon(service, capacity=8, workers=1, breaker=breaker)
+        daemon.signal_fault()  # trip; zero cooldown → next allow() probes
+        probe = daemon.submit(4)   # holds the probe, ends in ValueError
+        follow = daemon.submit(5)  # must become the next probe, not stale
+        daemon.stop(mode="drain")
+        with pytest.raises(ValueError):
+            probe.result(timeout=1)
+        response = follow.result(timeout=1)
+        assert response.status == "ok"
+        assert breaker.state == CLOSED
+        assert service.erased_clients == [4, 5]
+
+    def test_deadline_abort_probe_releases_the_slot(self, service):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=4, cooldown_seconds=0.0, clock=clock
+        )
+        daemon = ErasureDaemon(
+            service, capacity=8, workers=1, breaker=breaker, clock=clock
+        )
+        calls = {"n": 0}
+        original = service.handle_erasure_request
+
+        def slow_once(client_id, cancel_check=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                clock.advance(5.0)  # the replay outlives the deadline
+                cancel_check()      # between-rounds checkpoint: aborts
+            return original(client_id, cancel_check=cancel_check)
+
+        service.handle_erasure_request = slow_once
+        daemon.signal_fault()
+        probe = daemon.submit(4, deadline=Deadline(1.0, clock=clock))
+        follow = daemon.submit(5)
+        daemon.stop(mode="drain")
+        with pytest.raises(DeadlineExceededError):
+            probe.result(timeout=1)
+        assert follow.result(timeout=1).status == "ok"
+        assert breaker.state == CLOSED
+        assert service.erased_clients == [5]
 
     def test_client_errors_do_not_feed_the_breaker(self, service):
         daemon = ErasureDaemon(service, capacity=8, workers=1)
