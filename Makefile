@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-slo examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,13 @@ bench-core:
 bench-service:
 	pytest benchmarks/test_bench_service.py --benchmark-only
 
+# Fused replay-forest sweep: K queued erasures served as one shared
+# execution tree vs K cold replays (bitwise identity asserted at every
+# batch size; speedup grows with K, >=10x asserted at K=32), per-batch
+# rows into benchmarks/results/forest.json.
+bench-forest:
+	pytest benchmarks/test_bench_forest.py --benchmark-only
+
 # Erasure daemon SLO harness: steady / mass-GDPR burst / recovery
 # phases against the serving daemon (>=200 req/s sustained, bounded
 # p99, nonzero shed rate past saturation asserted), per-phase
@@ -60,7 +67,8 @@ examples:
 telemetry-demo:
 	python examples/telemetry_demo.py
 
-# Metrics contract: catalog <-> docs/METRICS.md must agree both ways.
+# Docs contract: catalog <-> docs/METRICS.md must agree both ways, and
+# every `make <target>` referenced in the docs must exist here.
 docs-lint:
 	pytest tests/test_metrics_docs.py -q
 

@@ -26,17 +26,28 @@ passes reuse instead of reallocating.  Workspace contents are pure
 scratch — they are deliberately dropped on ``deepcopy``/``pickle`` so
 scratch models (:class:`~repro.parallel.rounds.ModelPool`) and process
 workers start with empty pools instead of shipping dead buffers.
+
+:class:`BranchArena` extends the same layout idea across *models*: one
+contiguous ``(capacity, d)`` matrix whose rows are flat parameter
+vectors of sibling replay branches (the replay forest's fused
+execution, :mod:`repro.unlearning.forest`).  Rows are acquired and
+released like slots; each live branch mutates its own row *view*
+in place, and the fused SGD step over all sibling branches is one
+stacked element-wise pass.  Element-wise ufuncs are applied per
+element, so every row of the stacked step is **bitwise identical** to
+running :meth:`repro.nn.optim.SGD.step_` on that row alone — the
+property the forest's byte-identity contract leans on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.flat import total_size, unflatten_views
 
-__all__ = ["ParameterArena", "Workspace"]
+__all__ = ["BranchArena", "ParameterArena", "Workspace"]
 
 
 class ParameterArena:
@@ -85,6 +96,108 @@ class ParameterArena:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParameterArena(d={self.size}, dtype={self.dtype.name})"
+
+
+class BranchArena:
+    """Stacked ``(capacity, d)`` parameter matrix for fused branch replay.
+
+    Each row holds one replay branch's flat parameter vector.  Rows are
+    leased with :meth:`acquire` (lowest free index first, so allocation
+    order is deterministic) and returned with :meth:`release`; a
+    branch's live state is the writable row *view* from :meth:`row`, so
+    per-branch mutation is in place and the whole fleet stays in one
+    contiguous buffer.
+
+    :meth:`step_rows` is the fused Eq. 2 step: one stacked multiply and
+    one stacked subtract over every stepping branch, replacing K serial
+    :meth:`repro.nn.optim.SGD.step_` calls.  Both are element-wise
+    ufuncs, so row ``k`` of the fused result is bitwise identical to a
+    serial step on row ``k`` alone (asserted in
+    ``tests/test_replay_forest.py``).
+    """
+
+    def __init__(self, capacity: int, size: int, dtype=np.float64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        self.capacity = int(capacity)
+        self.size = int(size)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"arena dtype must be floating, got {self.dtype}")
+        self.wm = np.zeros((self.capacity, self.size), dtype=self.dtype)
+        # Stack of free rows, popped lowest-first for determinism.
+        self._free: List[int] = list(range(self.capacity - 1, -1, -1))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the stacked buffer."""
+        return int(self.wm.nbytes)
+
+    @property
+    def active(self) -> int:
+        """Rows currently leased to branches."""
+        return self.capacity - len(self._free)
+
+    def acquire(self, initial: Optional[np.ndarray] = None) -> int:
+        """Lease the lowest free row, optionally copying ``initial``
+        into it; returns the row index."""
+        if not self._free:
+            raise RuntimeError(
+                f"branch arena exhausted ({self.capacity} rows leased)"
+            )
+        row = self._free.pop()
+        if initial is not None:
+            np.copyto(self.wm[row], np.asarray(initial, dtype=self.dtype).ravel())
+        return row
+
+    def release(self, row: int) -> None:
+        """Return a leased row to the free pool."""
+        if row < 0 or row >= self.capacity:
+            raise ValueError(f"row {row} out of range")
+        if row in self._free:
+            raise ValueError(f"row {row} is not leased")
+        self._free.append(row)
+        self._free.sort(reverse=True)
+
+    def row(self, row: int) -> np.ndarray:
+        """The writable ``(d,)`` view of one branch's parameters."""
+        return self.wm[row]
+
+    def rows(self, indices: Sequence[int]) -> np.ndarray:
+        """A stacked *copy* of the given rows (fancy indexing copies)."""
+        return self.wm[list(indices)]
+
+    def step_rows(
+        self, indices: Sequence[int], grads: np.ndarray, lr: float
+    ) -> None:
+        """Fused in-place SGD step ``w_k ← w_k − lr · g_k`` on many rows.
+
+        ``grads`` is ``(len(indices), d)``, row ``k`` being branch
+        ``indices[k]``'s aggregated update.  Bitwise identical per row
+        to the serial :meth:`repro.nn.optim.SGD.step_`.
+        """
+        idx = list(indices)
+        if not idx:
+            return
+        grads = np.asarray(grads, dtype=self.dtype)
+        if grads.shape != (len(idx), self.size):
+            raise ValueError(
+                f"grads shape {grads.shape} != ({len(idx)}, {self.size})"
+            )
+        scaled = np.multiply(grads, self.dtype.type(lr))
+        # Gather → element-wise subtract → scatter: each row sees the
+        # exact serial two-op sequence (multiply then subtract).
+        gathered = self.wm[idx]
+        np.subtract(gathered, scaled, out=gathered)
+        self.wm[idx] = gathered
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BranchArena(capacity={self.capacity}, d={self.size}, "
+            f"active={self.active})"
+        )
 
 
 class Workspace:

@@ -26,6 +26,13 @@ request loop built for sustained load:
   daemon degrades to ``serve_stale`` (answer with the last known-good
   parameters, nothing erased) or ``queue_only`` (hold admitted work
   until the cooldown) instead of failing hard.
+- **Batch fusion** — with ``fusion_width > 1``, a worker coalesces
+  consecutive single-vehicle requests from the queue front and serves
+  them as ONE replay-forest execution
+  (:func:`repro.unlearning.forest.fused_unlearn`): shared prefix
+  rounds run once, branches fork only at divergence, and every ticket
+  still gets its own deadline, its own response, and byte-identical
+  parameters.  See ``docs/REPLAY.md`` for the cost model.
 - **Idempotency** — requests carrying a key are deduplicated: a
   retried submission attaches to the original's response future, so
   client retries never double-erase.  Only in-flight and successful
@@ -66,7 +73,7 @@ from repro.serving.requests import (
     ServiceResponse,
 )
 from repro.telemetry.core import current_telemetry
-from repro.unlearning.service import UnlearningService
+from repro.unlearning.service import DependentAbortError, UnlearningService
 from repro.utils.logging import get_logger
 
 __all__ = ["ErasureDaemon", "DEGRADED_MODES"]
@@ -127,6 +134,19 @@ class ErasureDaemon:
         Monotonic time source (injectable for deterministic tests).
     idempotency_capacity:
         How many request keys the dedupe table remembers (LRU).
+    fusion_width:
+        When ``> 1``, a worker that dequeues a *single-vehicle* request
+        also takes up to ``fusion_width - 1`` consecutive single-vehicle
+        requests from the queue front and serves the group as one
+        fused replay-forest execution
+        (:meth:`~repro.unlearning.service.UnlearningService.handle_erasure_batch_fused`)
+        — shared prefix rounds execute once, so throughput under a
+        backlog grows with the group size.  Each ticket keeps its own
+        deadline (polled as that branch's cancel check) and its own
+        response; ``1`` (the default) disables coalescing.  The fused
+        path bypasses ``retry_policy`` — a transient fault fails the
+        group's remaining members, and client retries re-execute
+        against the salvaged forest.
     """
 
     def __init__(
@@ -141,11 +161,14 @@ class ErasureDaemon:
         flusher=None,
         clock: Callable[[], float] = time.monotonic,
         idempotency_capacity: int = 4096,
+        fusion_width: int = 1,
     ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if fusion_width < 1:
+            raise ValueError("fusion_width must be >= 1")
         if degraded_mode not in DEGRADED_MODES:
             raise ValueError(
                 f"degraded_mode must be one of {DEGRADED_MODES}, got {degraded_mode!r}"
@@ -159,6 +182,7 @@ class ErasureDaemon:
         self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
         self.degraded_mode = degraded_mode
         self.retry_policy = retry_policy
+        self.fusion_width = fusion_width
         self.flusher = flusher
         self._clock = clock
         self._cond = threading.Condition()
@@ -425,13 +449,26 @@ class ErasureDaemon:
                 if self._stopping and not self._queue:
                     return
                 ticket = self._queue.popleft()
-                self._inflight += 1
+                batch = [ticket]
+                # Coalesce: a single-vehicle head pulls consecutive
+                # single-vehicle followers into one fused execution.
+                if self.fusion_width > 1 and len(ticket.request.client_ids) == 1:
+                    while (
+                        len(batch) < self.fusion_width
+                        and self._queue
+                        and len(self._queue[0].request.client_ids) == 1
+                    ):
+                        batch.append(self._queue.popleft())
+                self._inflight += len(batch)
                 self._set_queue_gauge(locked=True)
             try:
-                self._process(ticket)
+                if len(batch) > 1:
+                    self._process_fused(batch)
+                else:
+                    self._process(ticket)
             finally:
                 with self._cond:
-                    self._inflight -= 1
+                    self._inflight -= len(batch)
                     self._cond.notify_all()
 
     def _stale_response(self, ticket: _Ticket, queue_seconds: float) -> None:
@@ -552,3 +589,140 @@ class ErasureDaemon:
             service_seconds=service_seconds,
         )
         self._finish(ticket, "ok", response=response)
+
+    def _process_fused(self, tickets: list) -> None:
+        """Serve coalesced single-vehicle tickets as one forest execution.
+
+        Mirrors :meth:`_process` per ticket — queue-wait accounting,
+        dequeue-time deadline policing, degraded modes — then runs the
+        survivors through
+        :meth:`~repro.unlearning.service.UnlearningService.handle_erasure_batch_fused`
+        with each ticket's deadline as its branch's cancel check.  The
+        group is one breaker verdict: any committed member proves the
+        substrate healthy, any non-client failure feeds the breaker,
+        and a group that only hit deadlines/aborts leaves the probe
+        slot undecided.
+        """
+        telemetry = current_telemetry()
+        live = []
+        for ticket in tickets:
+            queue_seconds = self._clock() - ticket.enqueued_at
+            if telemetry.enabled:
+                telemetry.observe("serving_queue_wait_seconds", queue_seconds)
+            deadline = ticket.request.deadline
+            if deadline is not None and deadline.expired():
+                self._finish(
+                    ticket,
+                    "deadline",
+                    error=DeadlineExceededError(
+                        f"deadline of {deadline.budget_seconds:.3f}s expired "
+                        "while queued"
+                    ),
+                )
+                continue
+            live.append((ticket, queue_seconds))
+        if not live:
+            return
+        while not self.breaker.allow():
+            if self.degraded_mode == "serve_stale":
+                for ticket, queue_seconds in live:
+                    self._stale_response(ticket, queue_seconds)
+                return
+            held = []
+            for ticket, queue_seconds in live:
+                deadline = ticket.request.deadline
+                if deadline is not None and deadline.expired():
+                    self._finish(
+                        ticket,
+                        "deadline",
+                        error=DeadlineExceededError(
+                            f"deadline of {deadline.budget_seconds:.3f}s "
+                            "expired while held by the open breaker"
+                        ),
+                    )
+                else:
+                    held.append((ticket, queue_seconds))
+            live = held
+            if not live:
+                return
+            with self._cond:
+                if self._stopping:
+                    for ticket, _ in live:
+                        self._finish(
+                            ticket, "rejected", error=RejectedError("shutdown")
+                        )
+                    return
+                self._cond.wait(timeout=0.005)
+
+        if telemetry.enabled:
+            telemetry.inc("serving_fused_tickets_total", len(live))
+        ids = [ticket.request.client_ids[0] for ticket, _ in live]
+        checks = [
+            ticket.request.deadline.check
+            if ticket.request.deadline is not None
+            else None
+            for ticket, _ in live
+        ]
+        started = self._clock()
+        try:
+            report = self.service.handle_erasure_batch_fused(
+                ids, cancel_checks=checks
+            )
+        except Exception as exc:
+            # The fused executor itself failed — a substrate verdict
+            # for the whole group.
+            self.breaker.record_failure()
+            _log.warning("fused erasure batch failed: %s", exc)
+            for ticket, _ in live:
+                self._finish(ticket, "error", error=exc)
+            return
+        service_seconds = self._clock() - started
+
+        committed = 0
+        substrate_fault = False
+        for (ticket, queue_seconds), outcome, error in zip(
+            live, report.outcomes, report.errors
+        ):
+            if outcome is not None:
+                committed += 1
+                self._last_params = outcome.params
+                self._finish(
+                    ticket,
+                    "ok",
+                    response=ServiceResponse(
+                        status="ok",
+                        params=outcome.params,
+                        outcomes=[outcome],
+                        queue_seconds=queue_seconds,
+                        service_seconds=service_seconds,
+                    ),
+                )
+            elif isinstance(error, DeadlineExceededError):
+                if telemetry.enabled:
+                    telemetry.inc("serving_deadline_aborts_total")
+                self._finish(ticket, "deadline", error=error)
+            elif isinstance(error, DependentAbortError):
+                # Nothing wrong with this request — its predecessor
+                # aborted.  Reject so the client resubmits (cheap: the
+                # prefix is salvaged in the forest).
+                self._finish(ticket, "rejected", error=error)
+            elif isinstance(error, _CLIENT_ERRORS):
+                self._finish(ticket, "error", error=error)
+            else:
+                substrate_fault = True
+                self._finish(ticket, "error", error=error)
+
+        if committed:
+            self.breaker.record_success()
+        elif substrate_fault:
+            self.breaker.record_failure()
+        else:
+            self.breaker.release_probe()
+        with self._cond:
+            per_ticket = service_seconds / len(live)
+            if self._ema_service_seconds == 0.0:
+                self._ema_service_seconds = per_ticket
+            else:
+                self._ema_service_seconds = (
+                    0.8 * self._ema_service_seconds + 0.2 * per_ticket
+                )

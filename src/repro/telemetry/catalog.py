@@ -293,7 +293,45 @@ _ALL_SPECS = [
     ),
     _spec(
         "recovery_cache_entries", GAUGE, "entries", "repro.unlearning.recovery",
-        "Entries currently held by the replay prefix cache.",
+        "Roots (anchor trajectories) currently held by the replay forest.",
+    ),
+    _spec(
+        "recovery_forest_nodes", GAUGE, "entries", "repro.unlearning.recovery",
+        "Snapshot nodes currently held across all replay-forest roots.",
+    ),
+    _spec(
+        "recovery_forest_hit_depth", HISTOGRAM, "rounds",
+        "repro.unlearning.recovery",
+        "Prefix depth (rounds past the backtrack round) of each forest hit.",
+    ),
+    _spec(
+        "recovery_forest_node_evictions_total", COUNTER, "entries",
+        "repro.unlearning.recovery",
+        "Forest snapshot nodes evicted by the node-budget LRU.",
+    ),
+    # ----------------------------------------------------------- unlearning.forest
+    _spec(
+        "recovery_forest_forks_total", COUNTER, "events",
+        "repro.unlearning.forest",
+        "Sibling branches created when fused replays diverged "
+        "(fork-at-divergence events).",
+    ),
+    _spec(
+        "recovery_forest_fork_depth", HISTOGRAM, "rounds",
+        "repro.unlearning.forest",
+        "Depth (rounds past the backtrack round) at which fused branches "
+        "forked.",
+    ),
+    _spec(
+        "recovery_forest_fused_branches", HISTOGRAM, "branches",
+        "repro.unlearning.forest",
+        "Requests fused into one shared-tree replay call.",
+    ),
+    _spec(
+        "recovery_forest_shared_rounds_total", COUNTER, "rounds",
+        "repro.unlearning.forest",
+        "Replay round-executions avoided because sibling requests shared "
+        "a tree node (Σ members−1 per executed node-round).",
     ),
     # ---------------------------------------------------------- unlearning.service
     _spec(
@@ -339,6 +377,11 @@ _ALL_SPECS = [
         "serving_fault_signals_total", COUNTER, "events", "repro.serving.daemon",
         "External fault signals fed into the breaker, by kind.",
         labels=("kind",),
+    ),
+    _spec(
+        "serving_fused_tickets_total", COUNTER, "requests", "repro.serving.daemon",
+        "Queued single-vehicle tickets coalesced into fused replay-forest "
+        "executions.",
     ),
     # ---------------------------------------------------------- serving.breaker
     _spec(

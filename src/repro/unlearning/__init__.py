@@ -30,23 +30,39 @@ from repro.unlearning.estimator import (
     clip_elementwise,
     estimate_gradient,
 )
+from repro.unlearning.forest import BranchOutcome, FusedReplayStats, fused_unlearn
 from repro.unlearning.lbfgs import LbfgsBuffer, lbfgs_hessian_dense
-from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
-from repro.unlearning.service import ErasureOutcome, UnlearningService
+from repro.unlearning.recovery import (
+    ReplayForest,
+    ReplayPrefixCache,
+    SignRecoveryUnlearner,
+)
+from repro.unlearning.service import (
+    DependentAbortError,
+    ErasureOutcome,
+    FusedBatchReport,
+    UnlearningService,
+)
 
 __all__ = [
+    "BranchOutcome",
     "ClientsRequiredError",
     "DeltaGradUnlearner",
+    "DependentAbortError",
     "FedEraserUnlearner",
     "FedRecoverUnlearner",
     "FedRecoveryUnlearner",
+    "FusedBatchReport",
+    "FusedReplayStats",
     "GradientEstimator",
     "LbfgsBuffer",
+    "ReplayForest",
     "ReplayPrefixCache",
     "RetrainUnlearner",
     "SignRecoveryUnlearner",
     "UnlearningService",
     "ErasureOutcome",
+    "fused_unlearn",
     "UnlearnResult",
     "UnlearningMethod",
     "backtrack",

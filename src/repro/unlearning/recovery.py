@@ -51,15 +51,24 @@ shape and timing via ``recovery_parallel_*``.
 
 Amortized serving: successive erasure requests replay overlapping
 windows — forgetting ``{a}`` then ``{a, b}`` repeats every round up to
-``b``'s first appearance.  A :class:`ReplayPrefixCache` snapshots each
+``b``'s first appearance.  A :class:`ReplayForest` snapshots each
 replayed round's committed state (parameters, L-BFGS buffers, progress
-counters — replay is RNG-free, so no generator state exists to key) per
-forgotten set.  A later request whose forget set is a *superset* of a
-cached one resumes from the deepest snapshot before the first round
-where any extra client participated; the restored state is exactly what
-a cold replay would have reached, so cached-prefix results stay bitwise
-identical (``tests/test_service_cache.py`` asserts this, stats
-included).  Cache traffic feeds the ``recovery_cache_*`` metrics.
+counters — replay is RNG-free, so no generator state exists to key)
+into a shared tree keyed by the **effective forget set**
+``S ∩ P[F..t)``: the trajectory at round ``t`` depends on the forget
+set only through the forgotten clients that participated since the
+backtrack round, so arbitrary overlapping requests — supersets,
+subsets, or *incomparable* sets — share every common prefix segment
+and fork only at the first round where their participation differs.
+The restored state is exactly what a cold replay would have reached
+(clients the storing request had forgotten are re-seeded, which the
+effective-set match makes exact), so cached-prefix results stay
+bitwise identical (``tests/test_service_cache.py`` and
+``tests/test_replay_forest.py`` assert this, stats included).  Forest
+traffic feeds the ``recovery_cache_*`` and ``recovery_forest_*``
+metrics; ``docs/REPLAY.md`` is the design doc.  The fused multi-branch
+executor over the same forest lives in
+:mod:`repro.unlearning.forest`.
 
 Round reads go through the store's bulk
 :meth:`~repro.storage.store.GradientStore.get_round` when the backend
@@ -104,7 +113,7 @@ from repro.unlearning.estimator import GradientEstimator
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_state, save_state_atomic
 
-__all__ = ["ReplayPrefixCache", "SignRecoveryUnlearner"]
+__all__ = ["ReplayForest", "ReplayPrefixCache", "SignRecoveryUnlearner"]
 
 _log = get_logger("unlearning.recovery")
 
@@ -130,80 +139,140 @@ class _ReplaySnapshot:
         self.progress = progress
 
 
-class _CacheEntry:
-    __slots__ = (
-        "record_ref",
-        "base_key",
-        "forget",
-        "forget_round",
-        "snapshots",
-        "last_used",
-    )
+class _ForestNode:
+    """One shared snapshot in the forest: committed start-of-round state
+    keyed (within its root) by ``(round, effective forget set)``."""
 
-    def __init__(self, record_ref, base_key, forget, forget_round):
-        self.record_ref = record_ref
-        self.base_key = base_key
-        self.forget = forget
-        self.forget_round = forget_round
-        self.snapshots: Dict[int, _ReplaySnapshot] = {}
+    __slots__ = ("snapshot", "last_used")
+
+    def __init__(self, snapshot: _ReplaySnapshot):
+        self.snapshot = snapshot
         self.last_used = 0
 
 
-class ReplayPrefixCache:
-    """Shares the common replay prefix across erasure requests.
+class _ForestRoot:
+    """All trajectories sharing one ``(record, hyperparameters,
+    backtrack round)`` anchor.  ``cum[i]`` caches the union of
+    participants over rounds ``[F, F+i)`` — the basis for the
+    effective-forget-set keying below."""
+
+    __slots__ = (
+        "record_ref",
+        "base_key",
+        "forget_round",
+        "cum",
+        "nodes",
+        "last_used",
+    )
+
+    def __init__(self, record_ref, base_key, forget_round, cum):
+        self.record_ref = record_ref
+        self.base_key = base_key
+        self.forget_round = forget_round
+        self.cum: List[FrozenSet[int]] = cum
+        self.nodes: Dict[Tuple[int, FrozenSet[int]], _ForestNode] = {}
+        self.last_used = 0
+
+
+class ReplayForest:
+    """Shares every common replay prefix across erasure requests — a
+    tree of committed snapshots, not a per-forget-set line.
 
     Replay is fully deterministic given (record, hyperparameters,
     forget set): each remaining client's estimator is seeded and
     refreshed independently, and a round's aggregation sees only that
-    round's non-forgotten participants.  Two forget sets ``P ⊆ S``
-    with the same backtrack round therefore produce *identical*
-    trajectories up to the first round where a client in ``S ∖ P``
-    participated — so a request for ``S`` can resume from the deepest
-    snapshot a previous ``P``-replay committed before that round, with
-    the extra clients' estimators dropped.
+    round's non-forgotten participants.  The trajectory up to round
+    ``t`` therefore depends on the forget set ``S`` only through its
+    **effective forget set** ``E_t = S ∩ P[F..t)`` — the forgotten
+    clients that actually participated since the backtrack round ``F``.
+    Two requests whose effective sets agree at ``t`` have byte-identical
+    state at ``t``, whether or not either forget set contains the other
+    (see ``docs/REPLAY.md`` for the argument).
 
-    Entries are keyed by ``(record identity, hyperparameter key,
-    forget set, backtrack round)`` and hold one snapshot per replayed
-    round.  The record is held by weak reference: a cache never keeps a
-    superseded history alive, and an entry whose record is gone can
-    never match again.  Eviction is LRU over whole entries
-    (``max_entries``).
+    Snapshots are therefore stored as forest *nodes* keyed by
+    ``(t, E_t)`` under a *root* keyed by ``(record identity,
+    hyperparameter key, backtrack round)``.  A lookup for forget set
+    ``S`` resumes from the deepest node whose key equals
+    ``(t, S ∩ P[F..t))`` — the fork-at-divergence rule: overlapping but
+    *incomparable* forget sets share every round before the first one
+    where their symmetric difference participates.  On restore,
+    estimators of clients in ``S`` are dropped; clients forgotten by
+    the storing request but *remaining* for this one are absent from
+    the node and are re-seeded by the caller (sound because an
+    effective-set match proves they never participated in ``[F, t)``,
+    so their seeded state equals their cold state).
+
+    The record is held by weak reference: the forest never keeps a
+    superseded history alive.  Eviction is two-level LRU: whole roots
+    beyond ``max_entries`` (``__len__`` counts roots) and individual
+    snapshot nodes beyond ``max_nodes`` across all roots.  Evicting a
+    node only deepens a future request's replay — restored state is
+    always copied out, so eviction can never corrupt a sibling branch.
 
     Counters ``hits``/``misses``/``evictions``/``rounds_saved`` mirror
-    the ``recovery_cache_*`` telemetry (see ``docs/METRICS.md``) and
-    are queryable without a registry.
+    the ``recovery_cache_*`` telemetry; ``node_evictions`` and the node
+    count feed the ``recovery_forest_*`` family (see
+    ``docs/METRICS.md``).
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(self, max_entries: int = 8, max_nodes: int = 4096):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
         self.max_entries = max_entries
-        self._entries: List[_CacheEntry] = []
+        self.max_nodes = max_nodes
+        self._roots: List[_ForestRoot] = []
         self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.rounds_saved = 0
+        self.node_evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._roots)
+
+    @property
+    def node_count(self) -> int:
+        """Snapshot nodes currently held across all roots."""
+        return sum(len(root.nodes) for root in self._roots)
 
     # ------------------------------------------------------------------
-    def _divergence_bound(
-        self, record, entry: _CacheEntry, forget: FrozenSet[int]
-    ) -> int:
-        """First round where the new request's trajectory can differ
-        from the entry's: the earliest round in the replay window at
-        which any *extra* forgotten client participated.  Up to (not
-        including) that round both replays aggregated the same clients
-        from the same state."""
-        extra = forget - entry.forget
-        if not extra:
-            return record.num_rounds
-        for t in range(entry.forget_round, record.num_rounds):
-            if extra & set(record.ledger.participants_at(t)):
-                return t
-        return record.num_rounds
+    @staticmethod
+    def _cumulative(record, forget_round: int) -> List[FrozenSet[int]]:
+        cum: List[FrozenSet[int]] = []
+        seen: set = set()
+        for t in range(forget_round, record.num_rounds):
+            cum.append(frozenset(seen))
+            seen |= set(record.ledger.participants_at(t))
+        cum.append(frozenset(seen))
+        return cum
+
+    def effective_set(
+        self, record, forget_round: int, forget: FrozenSet[int], t: int
+    ) -> FrozenSet[int]:
+        """``S ∩ P[F..t)`` — the node key a request for ``S`` occupies
+        at round ``t`` (exposed for the fused executor and tests)."""
+        root = self._find_root(record, None, forget_round, any_base=True)
+        cum = (
+            root.cum
+            if root is not None
+            else self._cumulative(record, forget_round)
+        )
+        return frozenset(forget) & cum[t - forget_round]
+
+    def _find_root(
+        self, record, base_key, forget_round: int, any_base: bool = False
+    ) -> Optional[_ForestRoot]:
+        for root in self._roots:
+            if root.record_ref() is not record:
+                continue
+            if root.forget_round != forget_round:
+                continue
+            if any_base or root.base_key == base_key:
+                return root
+        return None
 
     def lookup(
         self,
@@ -214,46 +283,42 @@ class ReplayPrefixCache:
     ) -> Optional[Tuple[int, _ReplaySnapshot]]:
         """Deepest reusable ``(resume_round, snapshot)`` for a request.
 
-        Considers entries on the same record and hyperparameters whose
-        forget set is a subset of ``forget`` and whose backtrack round
-        matches (the refresh cadence and estimator seeding are anchored
-        at the backtrack round, so a different anchor is a different
-        trajectory).  Returns None — and counts a miss — when nothing
-        survives the divergence bound.
+        Matches nodes under the root with the same record,
+        hyperparameters, and backtrack round (the refresh cadence and
+        estimator seeding are anchored at the backtrack round, so a
+        different anchor is a different trajectory) whose key equals
+        ``(t, forget ∩ P[F..t))``.  Returns None — and counts a miss —
+        when no node deeper than the backtrack round matches.
         """
         telemetry = current_telemetry()
-        best: Optional[Tuple[int, _CacheEntry]] = None
-        for entry in self._entries:
-            if entry.record_ref() is not record:
-                continue
-            if entry.base_key != base_key or entry.forget_round != forget_round:
-                continue
-            if not entry.forget <= forget:
-                continue
-            bound = self._divergence_bound(record, entry, forget)
-            usable = [t for t in entry.snapshots if t <= bound]
-            if not usable:
-                continue
-            resume = max(usable)
-            if resume <= forget_round:
-                continue  # resuming at the backtrack round saves nothing
-            if best is None or resume > best[0]:
-                best = (resume, entry)
+        forget = frozenset(forget)
+        root = self._find_root(record, base_key, forget_round)
+        best: Optional[Tuple[int, _ForestNode]] = None
+        if root is not None:
+            for (t, effective), node in root.nodes.items():
+                if t <= forget_round:
+                    continue
+                if best is not None and t <= best[0]:
+                    continue
+                if forget & root.cum[t - forget_round] == effective:
+                    best = (t, node)
         if best is None:
             self.misses += 1
             if telemetry.enabled:
                 telemetry.inc("recovery_cache_misses_total")
             return None
-        resume, entry = best
+        resume, node = best
         self._tick += 1
-        entry.last_used = self._tick
+        root.last_used = self._tick
+        node.last_used = self._tick
         saved = resume - forget_round
         self.hits += 1
         self.rounds_saved += saved
         if telemetry.enabled:
             telemetry.inc("recovery_cache_hits_total")
             telemetry.inc("recovery_cache_rounds_saved_total", saved)
-        snapshot = entry.snapshots[resume]
+            telemetry.observe("recovery_forest_hit_depth", saved)
+        snapshot = node.snapshot
         restored = _ReplaySnapshot(
             params=np.array(snapshot.params, dtype=np.float64),
             estimators={
@@ -276,43 +341,75 @@ class ReplayPrefixCache:
         forget_round: int,
         snapshots: Dict[int, _ReplaySnapshot],
     ) -> None:
-        """Commit one replay's per-round snapshots.
+        """Commit one replay's per-round snapshots into the forest.
 
-        Merges into an existing entry for the identical key (a repeated
-        request extends coverage instead of shrinking it); otherwise
-        appends, evicting the least-recently-used entry beyond
-        ``max_entries``.
+        Each snapshot at round ``t`` lands on the node keyed by
+        ``(t, forget ∩ P[F..t))``.  An existing node keeps its snapshot
+        and absorbs estimator entries for clients it lacked (coverage
+        only ever grows); new nodes join the shared tree, so a later
+        request matches them regardless of which forget set committed
+        them.  Whole roots beyond ``max_entries`` and nodes beyond
+        ``max_nodes`` are evicted LRU.
         """
         if not snapshots:
             return
         telemetry = current_telemetry()
         self._tick += 1
-        for entry in self._entries:
-            if (
-                entry.record_ref() is record
-                and entry.base_key == base_key
-                and entry.forget == forget
-                and entry.forget_round == forget_round
-            ):
-                entry.snapshots.update(snapshots)
-                entry.last_used = self._tick
-                break
-        else:
-            entry = _CacheEntry(weakref.ref(record), base_key, forget, forget_round)
-            entry.snapshots = dict(snapshots)
-            entry.last_used = self._tick
-            self._entries.append(entry)
-            # Entries whose record has been garbage-collected can never
+        forget = frozenset(forget)
+        root = self._find_root(record, base_key, forget_round)
+        if root is None:
+            root = _ForestRoot(
+                weakref.ref(record),
+                base_key,
+                forget_round,
+                self._cumulative(record, forget_round),
+            )
+            root.last_used = self._tick
+            self._roots.append(root)
+            # Roots whose record has been garbage-collected can never
             # match again — purge them before counting the cap.
-            self._entries = [e for e in self._entries if e.record_ref() is not None]
-            while len(self._entries) > self.max_entries:
-                victim = min(self._entries, key=lambda e: e.last_used)
-                self._entries.remove(victim)
+            self._roots = [r for r in self._roots if r.record_ref() is not None]
+            while len(self._roots) > self.max_entries:
+                victim = min(self._roots, key=lambda r: r.last_used)
+                self._roots.remove(victim)
                 self.evictions += 1
                 if telemetry.enabled:
                     telemetry.inc("recovery_cache_evictions_total")
+        root.last_used = self._tick
+        for t, snap in snapshots.items():
+            key = (t, forget & root.cum[t - forget_round])
+            node = root.nodes.get(key)
+            if node is None:
+                node = _ForestNode(snap)
+                root.nodes[key] = node
+            else:
+                # Keep the established snapshot (byte-identical state by
+                # the effective-set argument) but widen its estimator
+                # coverage with clients this replay tracked and the
+                # stored one had forgotten.
+                for cid, state in snap.estimators.items():
+                    node.snapshot.estimators.setdefault(cid, state)
+            node.last_used = self._tick
+        while self.node_count > self.max_nodes:
+            victim_root = None
+            victim_key = None
+            victim_tick = None
+            for r in self._roots:
+                for k, n in r.nodes.items():
+                    if victim_tick is None or n.last_used < victim_tick:
+                        victim_root, victim_key, victim_tick = r, k, n.last_used
+            del victim_root.nodes[victim_key]
+            self.node_evictions += 1
+            if telemetry.enabled:
+                telemetry.inc("recovery_forest_node_evictions_total")
         if telemetry.enabled:
-            telemetry.set_gauge("recovery_cache_entries", len(self._entries))
+            telemetry.set_gauge("recovery_cache_entries", len(self._roots))
+            telemetry.set_gauge("recovery_forest_nodes", self.node_count)
+
+
+#: Historical name from the line-cache era (PR 5) — the forest is a
+#: strict generalization, so the old name keeps working everywhere.
+ReplayPrefixCache = ReplayForest
 
 
 class SignRecoveryUnlearner(UnlearningMethod):
@@ -726,6 +823,17 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 start_round, snapshot = hit
                 recovered = snapshot.params
                 estimators = self._estimators_from_snapshot(snapshot.estimators)
+                # A forest node stored by a *different* forget set may
+                # lack estimators for clients it had forgotten but this
+                # request keeps.  The effective-set match guarantees
+                # those clients never participated in [F, start_round),
+                # so seeding them now reproduces their cold state
+                # exactly (seeding is per-client and deterministic).
+                missing = [cid for cid in remaining if cid not in estimators]
+                if missing:
+                    estimators.update(
+                        self._seed_estimators(record, missing, forget_round)
+                    )
                 progress = snapshot.progress
                 self.last_cached_prefix_rounds = start_round - forget_round
                 _log.info(

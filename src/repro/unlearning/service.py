@@ -49,7 +49,12 @@ from repro.unlearning.base import UnlearnResult, resolve_forget_round
 from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
 from repro.utils.logging import get_logger
 
-__all__ = ["UnlearningService", "ErasureOutcome"]
+__all__ = [
+    "DependentAbortError",
+    "ErasureOutcome",
+    "FusedBatchReport",
+    "UnlearningService",
+]
 
 _log = get_logger("unlearning.service")
 
@@ -82,6 +87,33 @@ class ErasureOutcome:
     purged_records: int
     detection: Optional[DetectionReport] = None
     cached_prefix_rounds: int = 0
+
+
+class DependentAbortError(RuntimeError):
+    """A fused-batch member could not commit because an *earlier* member
+    of the same batch aborted.
+
+    Batch semantics are cumulative — member ``k``'s forget set includes
+    every earlier member's vehicle — so once member ``j`` fails to
+    erase, the counterfactual models computed for members ``k > j`` no
+    longer describe a reachable service state.  Their replay work is
+    still salvaged into the forest; resubmitting is cheap.
+    """
+
+
+@dataclass
+class FusedBatchReport:
+    """Per-request results of one :meth:`~UnlearningService.handle_erasure_batch_fused` call.
+
+    ``outcomes[k]`` and ``errors[k]`` align with the submitted
+    ``client_ids``; exactly one of the two is set per slot.  ``stats``
+    is the fused executor's work accounting
+    (:class:`~repro.unlearning.forest.FusedReplayStats`).
+    """
+
+    outcomes: List[Optional[ErasureOutcome]]
+    errors: List[Optional[BaseException]]
+    stats: object = None
 
 
 @dataclass
@@ -305,6 +337,120 @@ class UnlearningService:
                 self._erase([cid], mode="batch", cancel_check=cancel_check)
                 for cid in fresh
             ]
+
+    def handle_erasure_batch_fused(
+        self,
+        client_ids: Sequence[int],
+        cancel_checks: Optional[Sequence[Optional[Callable[[], None]]]] = None,
+    ) -> FusedBatchReport:
+        """Serve N queued erasure requests as **one fused forest replay**.
+
+        Like :meth:`handle_erasure_batch`, request ``k``'s forget set is
+        cumulative (its vehicle plus every valid earlier one plus the
+        already-erased set) and every result is byte-identical to
+        serving that request alone — but instead of N sequential
+        replays against the cache, all requests replay through one
+        shared execution tree (:func:`repro.unlearning.forest.fused_unlearn`):
+        common prefix segments execute once and branches fork only at
+        divergence, so the amortized cost *falls* as the batch grows.
+
+        Per-request semantics (this is the daemon's fusion substrate,
+        so slots are never silently dropped): ``outcomes[k]`` carries
+        the committed erasure, or ``errors[k]`` carries a ``ValueError``
+        (already erased / unknown / duplicate — single-request
+        semantics, unlike the skip-and-continue of the serial batch
+        path), the member's own cancellation (e.g. a deadline abort:
+        nothing committed, prefix salvaged), or a
+        :class:`DependentAbortError` when an earlier member aborted —
+        committed members before the first abort stay erased, exactly
+        like the serial batch path.
+
+        ``cancel_checks`` (optional, aligned with ``client_ids``) are
+        the per-request cooperative cancellation hooks, polled between
+        replay rounds for every round the member's branch executes.
+        """
+        ids = [int(c) for c in client_ids]
+        n = len(ids)
+        checks: List[Optional[Callable[[], None]]] = (
+            list(cancel_checks) if cancel_checks is not None else [None] * n
+        )
+        if len(checks) != n:
+            raise ValueError("cancel_checks must align with client_ids")
+        report = FusedBatchReport(outcomes=[None] * n, errors=[None] * n)
+        if not ids:
+            return report
+        from repro.unlearning.forest import fused_unlearn
+
+        with self._lock:
+            known = set(self.record.ledger.known_clients())
+            seen = set(self._erased)
+            cumulative = set(self._erased)
+            members: List[int] = []
+            member_sets: List[frozenset] = []
+            for k, cid in enumerate(ids):
+                if cid in seen:
+                    report.errors[k] = ValueError(
+                        f"clients [{cid}] were already erased"
+                    )
+                    continue
+                if cid not in known:
+                    report.errors[k] = ValueError(f"unknown clients in batch: [{cid}]")
+                    continue
+                seen.add(cid)
+                cumulative.add(cid)
+                members.append(k)
+                member_sets.append(frozenset(cumulative))
+            if not members:
+                return report
+            unlearner = self._unlearner(None)
+            branch_outcomes, stats = fused_unlearn(
+                unlearner,
+                self.record,
+                member_sets,
+                cancel_checks=[checks[k] for k in members],
+            )
+            report.stats = stats
+            telemetry = current_telemetry()
+            # Commit in batch order up to the first aborted/failed
+            # member; later members' forget sets include its un-erased
+            # vehicle, so their (valid, salvaged) results describe an
+            # unreachable state and must not commit.
+            first_failure: Optional[int] = None
+            for j, k in enumerate(members):
+                branch = branch_outcomes[j]
+                if first_failure is not None:
+                    report.errors[k] = DependentAbortError(
+                        f"request for client {ids[k]} depended on aborted "
+                        f"request for client {ids[members[first_failure]]}"
+                    )
+                    continue
+                if branch.error is not None:
+                    report.errors[k] = branch.error
+                    first_failure = j
+                    continue
+                purged = self.record.gradients.drop_client(ids[k])
+                self._erased.append(ids[k])
+                self.record.metadata["erased_clients"] = sorted(self._erased)
+                if telemetry.enabled:
+                    telemetry.inc("service_erasure_requests_total", 1, mode="fused")
+                report.outcomes[k] = ErasureOutcome(
+                    forgotten=[ids[k]],
+                    params=branch.result.params,
+                    result=branch.result,
+                    purged_records=purged,
+                    cached_prefix_rounds=branch.cached_prefix_rounds,
+                )
+            committed = sum(1 for o in report.outcomes if o is not None)
+            _log.info(
+                "fused batch: %d/%d committed (%d node-rounds for %d member-"
+                "rounds, %d forks)",
+                committed,
+                n,
+                stats.executed_node_rounds,
+                stats.member_rounds,
+                stats.forks,
+            )
+        return report
 
     def handle_departed_vehicle(
         self,

@@ -112,3 +112,68 @@ def test_architecture_doc_names_every_instrumented_module():
         assert module in text or rel in text, (
             f"docs/ARCHITECTURE.md never mentions instrumented module {module}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Makefile targets referenced in the docs must exist
+# ---------------------------------------------------------------------------
+
+_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+#: Docs swept for `make <target>` references.
+_DOC_FILES = ("README.md", "EXPERIMENTS.md")
+
+
+def parse_makefile_targets():
+    """Target names declared in the top-level Makefile (rule lines)."""
+    targets = set()
+    with open(os.path.join(_ROOT, "Makefile"), encoding="utf-8") as fh:
+        for line in fh:
+            m = re.match(r"^([A-Za-z0-9_.-]+)\s*:", line)
+            if m:
+                targets.add(m.group(1))
+    targets.discard(".PHONY")
+    return targets
+
+
+def doc_make_references():
+    """``{(file, target)}`` for every ``make <target>`` a doc mentions.
+
+    Catches both inline code (`` `make docs-lint` ``) and fenced shell
+    blocks whose line starts with ``make <target>``.
+    """
+    refs = set()
+    files = list(_DOC_FILES) + sorted(
+        os.path.join("docs", f)
+        for f in os.listdir(os.path.join(_ROOT, "docs"))
+        if f.endswith(".md")
+    )
+    for fname in files:
+        with open(os.path.join(_ROOT, fname), encoding="utf-8") as fh:
+            text = fh.read()
+        for target in re.findall(r"`make ([A-Za-z0-9_.-]+)`", text):
+            refs.add((fname, target))
+        for line in text.splitlines():
+            m = re.match(r"^\s*make ([A-Za-z0-9_.-]+)\s*(?:#.*)?$", line)
+            if m:
+                refs.add((fname, m.group(1)))
+    return refs
+
+
+def test_makefile_parses_and_docs_reference_targets():
+    assert "test" in parse_makefile_targets()
+    refs = doc_make_references()
+    assert refs, "no `make <target>` references parsed from any doc"
+
+
+def test_every_make_target_referenced_in_docs_exists():
+    targets = parse_makefile_targets()
+    phantom = sorted(
+        f"{fname}: `make {target}`"
+        for fname, target in doc_make_references()
+        if target not in targets
+    )
+    assert not phantom, (
+        "docs reference make targets the Makefile does not declare:\n"
+        + "\n".join(phantom)
+    )
