@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo bench-storage-scale examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -49,6 +49,13 @@ bench-forest:
 # latency/throughput/shed rows into benchmarks/results/slo.json.
 bench-slo:
 	pytest benchmarks/test_bench_slo.py --benchmark-only
+
+# Tiered-store capacity sweep: >=100k distinct clients ingested under
+# a small hot budget (bounded peak allocation asserted), per-tier
+# bytes/client/round, hit and latency rows, and >=2x cold compression
+# into benchmarks/results/storage_scale.json.
+bench-storage-scale:
+	pytest benchmarks/test_bench_storage_scale.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

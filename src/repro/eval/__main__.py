@@ -98,8 +98,9 @@ def main(argv=None) -> int:
         choices=list(SIGN_BACKENDS),
         default=None,
         help="sign-store backend for unlearning runs: 'dict' (in-memory, "
-        "default) or 'mmap' (round-major on-disk layout, zero-copy reads); "
-        "recovered models are bitwise identical across backends",
+        "default), 'mmap' (round-major on-disk layout, zero-copy reads), or "
+        "'tiered' (hot/warm/cold tiers, bounded memory, compressed cold "
+        "rounds); recovered models are bitwise identical across backends",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
     args = parser.parse_args(argv)

@@ -117,15 +117,21 @@ def with_sign_store(
     weights are shared (they are identical under both schemes).
 
     ``backend`` picks the storage substrate: ``"dict"`` (in-memory
-    :class:`~repro.storage.store.SignGradientStore`) or ``"mmap"``
+    :class:`~repro.storage.store.SignGradientStore`), ``"mmap"``
     (round-major on-disk
-    :class:`~repro.storage.mmap_store.MmapSignGradientStore`, written
-    under ``directory`` — a fresh temp dir when omitted).  ``None``
-    defers to :func:`repro.storage.store.default_sign_backend`, which
+    :class:`~repro.storage.mmap_store.MmapSignGradientStore`), or
+    ``"tiered"`` (hot/warm/cold
+    :class:`~repro.storage.tiered.TieredSignGradientStore` with
+    bounded-memory ingestion and compressed cold rounds) — the on-disk
+    backends live under ``directory``, a fresh temp dir when omitted.
+    ``None`` defers to
+    :func:`repro.storage.store.default_sign_backend`, which
     ``python -m repro.eval --store`` sets.  Decoded directions, and
     therefore recovered parameters, are bitwise identical across
     backends.
     """
+    import tempfile
+
     from repro.storage.store import SignGradientStore, default_sign_backend
 
     if backend is None:
@@ -136,15 +142,25 @@ def with_sign_store(
         for cid in record.gradients.clients_at(t):
             sign.put(t, cid, record.gradients.get(t, cid))
     if backend == "mmap":
-        import tempfile
-
         from repro.storage.mmap_store import MmapSignGradientStore
 
         if directory is None:
             directory = tempfile.mkdtemp(prefix="sign-mmap-")
         sign = MmapSignGradientStore.from_store(sign, directory)
+    elif backend == "tiered":
+        from repro.storage.tiered import TieredSignGradientStore
+
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="sign-tiered-")
+        tiered = TieredSignGradientStore(directory, delta=delta)
+        for (t, cid), (packed, length) in sign.items():
+            tiered.put_encoded(t, cid, packed, length)
+        tiered.flush()
+        sign = tiered
     elif backend != "dict":
-        raise ValueError(f"unknown sign backend {backend!r}; use 'dict' or 'mmap'")
+        raise ValueError(
+            f"unknown sign backend {backend!r}; use 'dict', 'mmap', or 'tiered'"
+        )
     return TrainingRecord(
         checkpoints=record.checkpoints,
         gradients=sign,

@@ -43,6 +43,7 @@ import numpy as np
 from repro.fl.history import TrainingRecord
 from repro.fl.membership import MembershipLedger
 from repro.storage.mmap_store import MmapSignGradientStore
+from repro.storage.tiered import TieredSignGradientStore
 from repro.storage.store import (
     FullGradientStore,
     GradientStore,
@@ -102,11 +103,14 @@ def store_to_arrays(
     """
     arrays: Dict[str, np.ndarray] = {}
     lengths: Dict[str, int] = {}
-    if isinstance(store, (SignGradientStore, MmapSignGradientStore)):
-        # Both sign backends expose the same ((round, client),
-        # (packed, length)) items surface, so an mmap-served record
-        # persists as kind "sign" and reloads as a dict store — the
-        # native restart path for the mmap layout is its own open().
+    if isinstance(
+        store, (SignGradientStore, MmapSignGradientStore, TieredSignGradientStore)
+    ):
+        # All sign backends expose the same ((round, client),
+        # (packed, length)) items surface, so an mmap- or tiered-served
+        # record persists as kind "sign" and reloads as a dict store —
+        # the native restart path for the on-disk layouts is their own
+        # open().
         for (t, cid), (packed, length) in store.items():
             arrays[f"g_{t}_{cid}"] = np.asarray(packed)
             lengths[f"g_{t}_{cid}"] = length

@@ -14,6 +14,7 @@ from repro.storage.sign_codec import (
     unpack_signs,
 )
 from repro.storage.mmap_store import MmapSignGradientStore
+from repro.storage.tiered import TieredSignGradientStore
 from repro.storage.store import (
     SIGN_BACKENDS,
     FullGradientStore,
@@ -32,6 +33,7 @@ __all__ = [
     "ModelCheckpointStore",
     "SIGN_BACKENDS",
     "SignGradientStore",
+    "TieredSignGradientStore",
     "decode_gradient",
     "decode_round",
     "default_sign_backend",

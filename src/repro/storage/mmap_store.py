@@ -54,6 +54,7 @@ __all__ = ["MmapSignGradientStore"]
 _MANIFEST = "manifest.json"
 _TOMBSTONES = "tombstones.json"
 _SHARD_FMT = "shard_{:05d}.bin"
+_COMPACT_SHARD_FMT = "shard_{gen:05d}_{seq:05d}.bin"
 _FORMAT_VERSION = 1
 _DEFAULT_SHARD_BYTES = 64 * 1024 * 1024
 
@@ -85,9 +86,12 @@ class MmapSignGradientStore(GradientStore):
         self.directory = ""
         self.delta = 0.0
         self._shards: List[np.memmap] = []
+        self._shard_names: List[str] = []
         # round -> (shard_idx, offset, [client_ids], [lengths])
         self._rounds: Dict[int, Tuple[int, int, List[int], List[int]]] = {}
         self._tombstones: set = set()
+        self._generation = 0
+        self._nbytes = 0  # live payload bytes; recount_nbytes() is the oracle
         return self
 
     @classmethod
@@ -192,6 +196,8 @@ class MmapSignGradientStore(GradientStore):
             self = cls._blank()
             self.directory = directory
             self.delta = float(manifest["delta"])
+            self._generation = int(manifest.get("generation", 0))
+            self._shard_names = [str(name) for name in manifest["shards"]]
             for name in manifest["shards"]:
                 path = os.path.join(directory, name)
                 if not os.path.exists(path):
@@ -225,6 +231,7 @@ class MmapSignGradientStore(GradientStore):
             if os.path.exists(tomb_path):
                 with open(tomb_path, "r", encoding="utf-8") as fh:
                     self._tombstones = {int(c) for c in json.load(fh)["clients"]}
+            self._nbytes = self.recount_nbytes()
         return self
 
     # ------------------------------------------------------------------
@@ -345,7 +352,16 @@ class MmapSignGradientStore(GradientStore):
         return out
 
     def nbytes(self) -> int:
-        """Payload bytes of *live* (non-tombstoned) records."""
+        """Payload bytes of *live* (non-tombstoned) records, O(1) cached.
+
+        The cache is seeded by a full recount at :meth:`open` and
+        decremented by :meth:`drop_client`; :meth:`recount_nbytes` is
+        the scan-based oracle the regression tests compare against.
+        """
+        return self._nbytes
+
+    def recount_nbytes(self) -> int:
+        """Recompute live payload bytes by scanning every round index."""
         total = 0
         for _, _, clients, lengths in self._rounds.values():
             total += sum(
@@ -355,30 +371,166 @@ class MmapSignGradientStore(GradientStore):
             )
         return total
 
+    def disk_bytes(self) -> int:
+        """Bytes the shard files occupy on disk (tombstoned rows included
+        until :meth:`compact` physically reclaims them)."""
+        total = 0
+        for name in self._shard_names:
+            path = os.path.join(self.directory, name)
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
     def drop_client(self, client_id: int) -> int:
         """Tombstone every record of ``client_id``; shards stay untouched.
 
         The tombstone sidecar is rewritten atomically so the logical
         deletion survives a restart — :meth:`open` re-applies it.
-        Returns the number of records logically removed.
+        Returns the number of records logically removed.  Bytes stay on
+        disk until :meth:`compact` rewrites the shards.
         """
         if client_id in self._tombstones:
             return 0
-        removed = sum(
-            1
-            for _, _, clients, _ in self._rounds.values()
-            for c in clients
-            if c == client_id
-        )
+        removed = 0
+        for _, _, clients, lengths in self._rounds.values():
+            for c, n in zip(clients, lengths):
+                if c == client_id:
+                    removed += 1
+                    self._nbytes -= packed_size_bytes(n)
         self._tombstones.add(client_id)
+        self._write_tombstones()
+        return removed
+
+    def _write_tombstones(self) -> None:
         payload = {"clients": sorted(self._tombstones)}
         fd, tmp = tempfile.mkstemp(prefix=".tombstones-", dir=self.directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, os.path.join(self.directory, _TOMBSTONES))
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-        return removed
+
+    def compact(self, shard_bytes: int = _DEFAULT_SHARD_BYTES) -> Dict[str, int]:
+        """Rewrite shards without tombstoned rows, reclaiming disk bytes.
+
+        Crash-safe via the manifest commit point: new shards are written
+        under fresh generation-numbered names, ``manifest.json`` is
+        swapped last with ``os.replace``, and only then are the old
+        shard files unlinked and the tombstone sidecar emptied.  A crash
+        before the manifest swap leaves the old layout fully intact (the
+        new files are unreferenced garbage); a crash after it leaves the
+        new layout with stale-but-harmless tombstones naming rows that
+        no longer exist.  Returns ``{"rounds", "removed_rows",
+        "reclaimed_bytes"}``.
+        """
+        if shard_bytes <= 0:
+            raise ValueError("shard_bytes must be positive")
+        old_names = list(self._shard_names)
+        old_disk = self.disk_bytes()
+        generation = self._generation + 1
+
+        staging = tempfile.mkdtemp(prefix=".compact-", dir=self.directory)
+        removed_rows = 0
+        try:
+            manifest_rounds: Dict[str, Dict[str, object]] = {}
+            new_names: List[str] = []
+            shard_file = None
+            shard_offset = 0
+            new_rounds: Dict[int, Tuple[int, int, List[int], List[int]]] = {}
+            for t in sorted(self._rounds):
+                shard, offset, clients, lengths = self._rounds[t]
+                rows: List[bytes] = []
+                live_clients: List[int] = []
+                live_lengths: List[int] = []
+                for cid, length in zip(clients, lengths):
+                    width = packed_size_bytes(length)
+                    if cid in self._tombstones:
+                        removed_rows += 1
+                    else:
+                        rows.append(bytes(self._shards[shard][offset : offset + width]))
+                        live_clients.append(cid)
+                        live_lengths.append(length)
+                    offset += width
+                if not live_clients:
+                    continue
+                block = b"".join(rows)
+                if shard_file is None or (
+                    shard_offset and shard_offset + len(block) > shard_bytes
+                ):
+                    if shard_file is not None:
+                        shard_file.flush()
+                        os.fsync(shard_file.fileno())
+                        shard_file.close()
+                    new_names.append(
+                        _COMPACT_SHARD_FMT.format(gen=generation, seq=len(new_names))
+                    )
+                    shard_file = open(os.path.join(staging, new_names[-1]), "wb")
+                    shard_offset = 0
+                shard_file.write(block)
+                manifest_rounds[str(t)] = {
+                    "shard": len(new_names) - 1,
+                    "offset": shard_offset,
+                    "clients": live_clients,
+                    "lengths": live_lengths,
+                }
+                new_rounds[t] = (
+                    len(new_names) - 1,
+                    shard_offset,
+                    live_clients,
+                    live_lengths,
+                )
+                shard_offset += len(block)
+            if shard_file is not None:
+                shard_file.flush()
+                os.fsync(shard_file.fileno())
+                shard_file.close()
+
+            manifest = {
+                "format_version": _FORMAT_VERSION,
+                "delta": self.delta,
+                "generation": generation,
+                "shards": new_names,
+                "rounds": manifest_rounds,
+            }
+            for name in new_names:
+                os.replace(
+                    os.path.join(staging, name), os.path.join(self.directory, name)
+                )
+            fd, tmp = tempfile.mkstemp(prefix=".manifest-", dir=self.directory)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+
+        # Committed: swap in the new layout, then clean up the old one.
+        self._generation = generation
+        self._shard_names = new_names
+        self._rounds = new_rounds
+        self._shards = []
+        for name in new_names:
+            path = os.path.join(self.directory, name)
+            size = os.path.getsize(path)
+            self._shards.append(
+                np.memmap(path, dtype=np.uint8, mode="r")
+                if size
+                else np.empty(0, dtype=np.uint8)
+            )
+        self._tombstones = set()
+        self._write_tombstones()
+        for name in old_names:
+            path = os.path.join(self.directory, name)
+            if os.path.exists(path):
+                os.unlink(path)
+        return {
+            "rounds": len(new_rounds),
+            "removed_rows": removed_rows,
+            "reclaimed_bytes": old_disk - self.disk_bytes(),
+        }

@@ -46,16 +46,17 @@ __all__ = [
 ]
 
 # Process-wide default backend for derived sign-store views:
-# ``"dict"`` (in-memory SignGradientStore) or ``"mmap"`` (round-major
-# on-disk MmapSignGradientStore).  Mirrors the execution-policy idiom
-# of repro.parallel.policy; ``python -m repro.eval --store mmap`` flips
-# it for a run.
-SIGN_BACKENDS = ("dict", "mmap")
+# ``"dict"`` (in-memory SignGradientStore), ``"mmap"`` (round-major
+# on-disk MmapSignGradientStore), or ``"tiered"`` (hot/warm/cold
+# TieredSignGradientStore).  Mirrors the execution-policy idiom of
+# repro.parallel.policy; ``python -m repro.eval --store mmap`` (or
+# ``tiered``) flips it for a run.
+SIGN_BACKENDS = ("dict", "mmap", "tiered")
 _default_sign_backend = "dict"
 
 
 def default_sign_backend() -> str:
-    """The process-wide sign-store backend (``"dict"`` or ``"mmap"``)."""
+    """The process-wide sign-store backend (one of ``SIGN_BACKENDS``)."""
     return _default_sign_backend
 
 

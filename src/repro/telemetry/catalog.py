@@ -185,6 +185,40 @@ _ALL_SPECS = [
         "storage_mmap_round_reads_total", COUNTER, "rounds", "repro.storage.mmap_store",
         "Round blocks served zero-copy from the mmap layout.",
     ),
+    # ------------------------------------------------------------- storage.tiered
+    _spec(
+        "storage_tier_spill_seconds", HISTOGRAM, "seconds", "repro.storage.tiered",
+        "One hot→warm spill: shard + index write, manifest publish, "
+        "in-memory adoption (span).",
+    ),
+    _spec(
+        "storage_tier_spills_total", COUNTER, "rounds", "repro.storage.tiered",
+        "Sealed rounds spilled from the hot dict tier into warm shards.",
+    ),
+    _spec(
+        "storage_tier_compact_seconds", HISTOGRAM, "seconds", "repro.storage.tiered",
+        "One full compaction: tombstone GC + cold demotion + generation "
+        "swap (span).",
+    ),
+    _spec(
+        "storage_tier_compactions_total", COUNTER, "compactions", "repro.storage.tiered",
+        "Completed shard-set compactions (each publishes a new generation).",
+    ),
+    _spec(
+        "storage_tier_demotions_total", COUNTER, "rounds", "repro.storage.tiered",
+        "Warm rounds demoted to the zlib cold tier by compaction.",
+    ),
+    _spec(
+        "storage_tier_hits_total", COUNTER, "reads", "repro.storage.tiered",
+        "Point/round reads answered per tier (hot dict, warm mmap, cold "
+        "inflate).",
+        labels=("tier",),
+    ),
+    _spec(
+        "storage_tier_bytes", GAUGE, "bytes", "repro.storage.tiered",
+        "Live payload bytes currently held in each tier.",
+        labels=("tier",),
+    ),
     # ----------------------------------------------------------- unlearning.lbfgs
     _spec(
         "lbfgs_hvp_seconds", HISTOGRAM, "seconds", "repro.unlearning.lbfgs",

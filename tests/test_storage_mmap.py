@@ -156,6 +156,77 @@ class TestTombstones:
         assert mmap_store.drop_client(999) == 0
 
 
+class TestNbytesAccounting:
+    def test_cached_nbytes_matches_oracle(self, sign_store, mmap_store):
+        assert mmap_store.nbytes() == mmap_store.recount_nbytes()
+        assert mmap_store.nbytes() == sign_store.nbytes()
+
+    def test_drop_shrinks_nbytes_but_not_disk(self, sign_store, mmap_store):
+        disk_before = mmap_store.disk_bytes()
+        sign_store.drop_client(2)
+        mmap_store.drop_client(2)
+        # logical bytes shrink in lockstep with the dict store and the
+        # oracle; physical shard bytes only shrink at compact()
+        assert mmap_store.nbytes() == sign_store.nbytes()
+        assert mmap_store.nbytes() == mmap_store.recount_nbytes()
+        assert mmap_store.disk_bytes() == disk_before
+
+    def test_nbytes_cache_survives_restart(self, sign_store, mmap_store):
+        sign_store.drop_client(3)
+        mmap_store.drop_client(3)
+        reopened = MmapSignGradientStore.open(mmap_store.directory)
+        assert reopened.nbytes() == reopened.recount_nbytes() == sign_store.nbytes()
+
+
+class TestCompact:
+    def test_compact_reclaims_disk_bytes(self, sign_store, mmap_store):
+        sign_store.drop_client(2)
+        mmap_store.drop_client(2)
+        disk_before = mmap_store.disk_bytes()
+        stats = mmap_store.compact()
+        assert stats["removed_rows"] > 0
+        assert stats["reclaimed_bytes"] > 0
+        assert mmap_store.disk_bytes() < disk_before
+        assert mmap_store.nbytes() == mmap_store.recount_nbytes()
+        _assert_same_view(sign_store, mmap_store)
+
+    def test_compact_preserves_reads_and_restart(self, sign_store, mmap_store):
+        sign_store.drop_client(1)
+        mmap_store.drop_client(1)
+        mmap_store.compact()
+        _assert_same_view(sign_store, mmap_store)
+        reopened = MmapSignGradientStore.open(mmap_store.directory)
+        _assert_same_view(sign_store, reopened)
+
+    def test_compact_without_tombstones_is_lossless(self, sign_store, mmap_store):
+        stats = mmap_store.compact()
+        assert stats["removed_rows"] == 0
+        _assert_same_view(sign_store, mmap_store)
+
+    def test_repeated_compact_converges(self, sign_store, mmap_store):
+        sign_store.drop_client(2)
+        mmap_store.drop_client(2)
+        mmap_store.compact()
+        stats = mmap_store.compact()
+        assert stats["removed_rows"] == 0
+        assert stats["reclaimed_bytes"] == 0
+        _assert_same_view(sign_store, mmap_store)
+
+    def test_compact_drops_fully_tombstoned_rounds(self, mmap_store):
+        mmap_store.drop_client(2)  # round 4's only client
+        mmap_store.compact()
+        assert 4 not in mmap_store.rounds()
+        assert mmap_store.get_round(4) == {}
+
+    def test_compact_respects_shard_bytes(self, sign_store, tmp_path):
+        directory = str(tmp_path / "resharded")
+        mm = MmapSignGradientStore.from_store(sign_store, directory)
+        mm.compact(shard_bytes=32)
+        shards = [f for f in os.listdir(directory) if f.startswith("shard_")]
+        assert len(shards) > 1
+        _assert_same_view(sign_store, mm)
+
+
 class TestGetRoundSemantics:
     def test_missing_round_is_empty(self, mmap_store):
         assert mmap_store.get_round(99) == {}

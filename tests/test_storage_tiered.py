@@ -1,0 +1,375 @@
+"""Tiered sign store: bounded memory, tier lifecycle, end-to-end identity.
+
+The contract under test (`docs/ARCHITECTURE.md`, "Storage tiering"):
+
+- ingestion is bounded-memory — the hot tier never exceeds its byte
+  budget once a round can spill, in sync and background mode alike;
+- every tier transition (hot→warm spill, warm→cold demotion,
+  compaction, reopen) preserves reads bit-for-bit;
+- ``drop_client`` tombstones are durable and compaction physically
+  reclaims their bytes;
+- the replay/forest read path through a tiered record is byte-identical
+  to the dict store — across a FaultPlan run and after persist/open —
+  and ``ErasureDaemon`` traffic is served correctly mid-compaction;
+- a ≤5k-client synthetic sweep (the tier-1 smoke version of
+  ``make bench-storage-scale``) holds the capacity model's bounds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import ClientFault, FaultPlan
+from repro.fl import with_sign_store
+from repro.fl.persistence import load_record, save_record, store_to_arrays
+from repro.serving.daemon import ErasureDaemon
+from repro.storage import SignGradientStore, TieredSignGradientStore
+from repro.storage.tiered import TIER_COLD, TIER_HOT, TIER_WARM
+from repro.unlearning import SignRecoveryUnlearner, UnlearningService
+
+from tests.test_service_cache import CLIP, build_record
+
+DELTA = 1e-6
+DIM = 57
+
+
+def _fill(store, rng, num_rounds=6, cohort=5, dim=DIM, scale=1e-3):
+    """Identical rounds into ``store`` and a dict reference; returns it."""
+    reference = SignGradientStore(delta=DELTA)
+    for t in range(num_rounds):
+        updates = {
+            int(c): rng.normal(size=dim) * scale for c in range(1, cohort + 1)
+        }
+        reference.put_round(t, updates)
+        store.put_round(t, updates)
+    return reference
+
+
+def _assert_same_view(reference, store):
+    assert store.rounds() == reference.rounds()
+    for t in reference.rounds():
+        assert store.clients_at(t) == reference.clients_at(t)
+        bulk = store.get_round(t)
+        expected = reference.get_round(t)
+        assert sorted(bulk) == sorted(expected)
+        for cid in expected:
+            np.testing.assert_array_equal(bulk[cid], expected[cid])
+            np.testing.assert_array_equal(store.get(t, cid), reference.get(t, cid))
+
+
+class TestBoundedIngestion:
+    def test_hot_tier_respects_budget(self, rng, tmp_path):
+        budget = 256
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"), delta=DELTA, hot_budget_bytes=budget
+        )
+        reference = SignGradientStore(delta=DELTA)
+        for t in range(10):
+            updates = {int(c): rng.normal(size=DIM) for c in range(1, 6)}
+            reference.put_round(t, updates)
+            store.put_round(t, updates)
+            # each round is sealed on commit, so the budget holds at
+            # every step — this is the bounded-memory guarantee
+            assert store.tier_bytes()[TIER_HOT] <= budget
+        assert store.tier_rounds()[TIER_WARM] > 0
+        _assert_same_view(reference, store)
+
+    def test_unsealed_round_stays_hot_under_budget(self, rng, tmp_path):
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"), delta=DELTA, hot_budget_bytes=1 << 20
+        )
+        store.put(3, 1, rng.normal(size=DIM))
+        assert store.tier_rounds()[TIER_HOT] == 1
+        assert store.tier_rounds()[TIER_WARM] == 0
+
+    def test_oversized_single_round_spills_last_resort(self, rng, tmp_path):
+        # one in-flight round bigger than the whole budget cannot be
+        # held hot; it spills mid-round and later writes overlay it
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"), delta=DELTA, hot_budget_bytes=32
+        )
+        reference = SignGradientStore(delta=DELTA)
+        for cid in range(1, 8):
+            g = rng.normal(size=DIM)
+            reference.put(0, cid, g)
+            store.put(0, cid, g)
+        assert store.tier_bytes()[TIER_HOT] <= 32
+        _assert_same_view(reference, store)
+
+    def test_background_spill_mode(self, rng, tmp_path):
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"),
+            delta=DELTA,
+            hot_budget_bytes=256,
+            spill_mode="background",
+        )
+        reference = _fill(store, rng, num_rounds=8)
+        store.flush()  # deterministic drain for the assertion
+        assert store.tier_rounds()[TIER_HOT] == 0
+        _assert_same_view(reference, store)
+        store.close()
+
+    def test_overlay_respill(self, rng, tmp_path):
+        # write to a round that already spilled: the hot overlay wins
+        # immediately and the next spill folds it into the shard row
+        store = TieredSignGradientStore(str(tmp_path / "t"), delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        g = rng.normal(size=DIM)
+        reference.put(0, 3, g)
+        store.put(0, 3, g)
+        np.testing.assert_array_equal(store.get(0, 3), reference.get(0, 3))
+        store.flush()
+        assert store.tier_rounds()[TIER_HOT] == 0
+        _assert_same_view(reference, store)
+
+
+class TestTombstonesAndCompaction:
+    def test_drop_is_durable_and_compaction_reclaims(self, rng, tmp_path):
+        directory = str(tmp_path / "t")
+        store = TieredSignGradientStore(directory, delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        reference.drop_client(2)
+        assert store.drop_client(2) > 0
+        _assert_same_view(reference, store)
+
+        reopened = TieredSignGradientStore.open(directory)
+        _assert_same_view(reference, reopened)
+
+        disk_before = reopened.disk_bytes()
+        stats = reopened.compact()
+        assert stats["reclaimed_bytes"] > 0
+        assert reopened.disk_bytes() < disk_before
+        _assert_same_view(reference, reopened)
+
+    def test_reput_after_drop_survives_spill_and_reopen(self, rng, tmp_path):
+        directory = str(tmp_path / "t")
+        store = TieredSignGradientStore(directory, delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        reference.drop_client(2)
+        store.drop_client(2)
+        g = rng.normal(size=DIM)
+        reference.put(1, 2, g)
+        store.put(1, 2, g)
+        store.flush()
+        _assert_same_view(reference, store)
+        reopened = TieredSignGradientStore.open(directory)
+        _assert_same_view(reference, reopened)
+        assert reopened.has(1, 2) and not reopened.has(0, 2)
+
+    def test_cold_demotion_preserves_reads_and_compresses(self, tmp_path):
+        rng = np.random.default_rng(5)
+        store = TieredSignGradientStore(str(tmp_path / "t"), delta=DELTA)
+        # mostly sub-threshold elements → ternary codes are mostly the
+        # zero symbol, which zlib compresses well past 2x
+        reference = SignGradientStore(delta=DELTA)
+        for t in range(8):
+            updates = {}
+            for c in range(1, 9):
+                g = rng.normal(size=512) * 1e-3
+                g[rng.random(512) < 0.9] = 0.0
+                updates[int(c)] = g
+            reference.put_round(t, updates)
+            store.put_round(t, updates)
+        store.flush()
+        stats = store.compact(cold_after=3)
+        assert stats["demoted"] > 0
+        assert store.tier_rounds()[TIER_COLD] > 0
+        assert store.tier_rounds()[TIER_WARM] > 0
+        assert store.cold_compression_ratio() >= 2.0
+        _assert_same_view(reference, store)
+        # cold bytes count compressed: totals shrink but stay honest
+        assert store.nbytes() == store.recount_nbytes()
+        assert store.nbytes() < reference.nbytes()
+
+    def test_constructor_cold_horizon_applies_on_compact(self, rng, tmp_path):
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"), delta=DELTA, cold_after=2
+        )
+        reference = _fill(store, rng)
+        store.flush()
+        store.compact()
+        assert store.tier_rounds()[TIER_COLD] > 0
+        _assert_same_view(reference, store)
+
+
+class TestPersistence:
+    def test_store_to_arrays_emits_sign_kind(self, rng, tmp_path):
+        store = TieredSignGradientStore(str(tmp_path / "t"), delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        store.compact(cold_after=2)
+        kind, arrays, lengths, delta = store_to_arrays(store)
+        ref_kind, ref_arrays, ref_lengths, ref_delta = store_to_arrays(reference)
+        assert kind == ref_kind == "sign"
+        assert delta == ref_delta and lengths == ref_lengths
+        assert set(arrays) == set(ref_arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(arrays[name], ref_arrays[name])
+
+    def test_record_round_trip(self, small_fl, tmp_path):
+        tiered_record = with_sign_store(
+            small_fl["record"], backend="tiered", directory=str(tmp_path / "layout")
+        )
+        assert isinstance(tiered_record.gradients, TieredSignGradientStore)
+        save_record(tiered_record, str(tmp_path / "saved"))
+        loaded = load_record(str(tmp_path / "saved"))
+        _assert_same_view(loaded.gradients, tiered_record.gradients)
+
+    def test_native_reopen_matches(self, small_fl, tmp_path):
+        directory = str(tmp_path / "layout")
+        tiered_record = with_sign_store(
+            small_fl["record"], backend="tiered", directory=directory
+        )
+        dict_record = with_sign_store(small_fl["record"], backend="dict")
+        reopened = TieredSignGradientStore.open(directory)
+        _assert_same_view(dict_record.gradients, reopened)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: replay identity and daemon traffic
+# ----------------------------------------------------------------------
+#: Non-fatal upload crashes during training, so the record has genuine
+#: dropouts for the tiered replay to skip over (same idiom as
+#: tests/test_service_cache.py).
+FAULT_PLAN = FaultPlan(
+    client_faults={
+        (4, 1): ClientFault("crash"),
+        (7, 3): ClientFault("crash"),
+    },
+    seed=99,
+)
+
+
+class TestReplayIdentity:
+    def test_recovery_matches_dict_store_under_faults(self, tmp_path):
+        seed = 13
+        dict_record, model = build_record(seed, fault_plan=FAULT_PLAN)
+        tiered_record, _ = build_record(
+            seed,
+            fault_plan=FAULT_PLAN,
+            backend="tiered",
+            directory=str(tmp_path / "layout"),
+        )
+        assert isinstance(tiered_record.gradients, TieredSignGradientStore)
+        unlearner = SignRecoveryUnlearner(clip_threshold=CLIP)
+        expected = unlearner.unlearn(dict_record, [5], model)
+        observed = unlearner.unlearn(tiered_record, [5], model)
+        assert observed.params.tobytes() == expected.params.tobytes()
+        assert observed.stats == expected.stats
+
+    def test_recovery_matches_after_persist_open(self, tmp_path):
+        seed = 13
+        dict_record, model = build_record(seed)
+        tiered_record, _ = build_record(
+            seed, backend="tiered", directory=str(tmp_path / "layout")
+        )
+        save_record(tiered_record, str(tmp_path / "saved"))
+        loaded = load_record(str(tmp_path / "saved"))
+        unlearner = SignRecoveryUnlearner(clip_threshold=CLIP)
+        expected = unlearner.unlearn(dict_record, [5, 6], model)
+        observed = unlearner.unlearn(loaded, [5, 6], model)
+        assert observed.params.tobytes() == expected.params.tobytes()
+
+    def test_bulk_round_flag_feeds_replay(self, tmp_path):
+        record, _ = build_record(
+            21, backend="tiered", directory=str(tmp_path / "layout")
+        )
+        assert getattr(record.gradients, "supports_bulk_round", False)
+
+
+class TestDaemonMidCompaction:
+    def test_erasures_served_while_compacting(self, tmp_path):
+        seed = 3
+        dict_record, model = build_record(seed)
+        tiered_record, tiered_model = build_record(
+            seed, backend="tiered", directory=str(tmp_path / "layout")
+        )
+        store = tiered_record.gradients
+
+        reference_service = UnlearningService(
+            record=dict_record, model=model, clip_threshold=CLIP
+        )
+        expected = reference_service.handle_erasure_batch([5, 6, 7])
+
+        service = UnlearningService(
+            record=tiered_record, model=tiered_model, clip_threshold=CLIP
+        )
+        daemon = ErasureDaemon(service, capacity=8, workers=2).start()
+        stop = threading.Event()
+        compactions = []
+
+        def churn():
+            # alternate demote/promote horizons so every pass rewrites
+            # the shard set while the daemon replays from it
+            while not stop.is_set():
+                for horizon in (2, None):
+                    compactions.append(store.compact(cold_after=horizon))
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            futures = [daemon.submit(cid) for cid in (5, 6, 7)]
+            results = [f.result(timeout=120) for f in futures]
+        finally:
+            stop.set()
+            churner.join()
+            daemon.stop()
+
+        assert [r.status for r in results] == ["ok", "ok", "ok"]
+        for got, want in zip(results, expected):
+            assert got.params.tobytes() == want.params.tobytes()
+        assert compactions, "compaction thread never ran"
+
+
+# ----------------------------------------------------------------------
+# capacity smoke sweep — the tier-1 slice of `make bench-storage-scale`
+# ----------------------------------------------------------------------
+class TestCapacitySmoke:
+    ROUNDS = 20
+    COHORT = 250  # × ROUNDS = 5000 distinct clients, the smoke ceiling
+    DIM = 64
+    BUDGET = 8 * 1024
+
+    def test_smoke_sweep_holds_capacity_model(self, tmp_path):
+        rng = np.random.default_rng(17)
+        store = TieredSignGradientStore(
+            str(tmp_path / "scale"),
+            delta=DELTA,
+            hot_budget_bytes=self.BUDGET,
+            cold_after=self.ROUNDS // 2,
+        )
+        sample = {}  # (round, client) -> gradient, spot-check corpus
+        for t in range(self.ROUNDS):
+            base = t * self.COHORT
+            updates = {}
+            for c in range(base, base + self.COHORT):
+                g = rng.normal(size=self.DIM) * 1e-3
+                g[rng.random(self.DIM) < 0.9] = 0.0
+                updates[int(c)] = g
+            store.put_round(t, updates)
+            if t % 7 == 0:
+                cid = base + 3
+                sample[(t, cid)] = updates[cid]
+            assert store.tier_bytes()[TIER_HOT] <= self.BUDGET
+        store.flush()
+        store.compact()
+
+        stats = store.stats()
+        assert stats["tier_rounds"][TIER_COLD] > 0
+        assert store.cold_compression_ratio() >= 2.0
+        # capacity model: a live row costs ceil(d/4) warm bytes
+        expected_warm_row = (self.DIM + 3) // 4
+        warm_rounds = stats["tier_rounds"][TIER_WARM]
+        if warm_rounds:
+            per_row = stats["tier_bytes"][TIER_WARM] / (warm_rounds * self.COHORT)
+            assert per_row == expected_warm_row
+        # reads stay index-backed and bitwise faithful at 5k clients
+        reference = SignGradientStore(delta=DELTA)
+        for (t, cid), g in sample.items():
+            reference.put(t, cid, g)
+            np.testing.assert_array_equal(store.get(t, cid), reference.get(t, cid))
+        assert store.nbytes() == store.recount_nbytes()
