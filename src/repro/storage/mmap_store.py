@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 import tempfile
 from typing import Dict, List, Tuple
@@ -48,6 +49,7 @@ from repro.storage.sign_codec import (
 )
 from repro.storage.store import GradientStore, SignGradientStore
 from repro.telemetry.core import current_telemetry
+from repro.utils.serialization import fsync_dir
 
 __all__ = ["MmapSignGradientStore"]
 
@@ -55,6 +57,12 @@ _MANIFEST = "manifest.json"
 _TOMBSTONES = "tombstones.json"
 _SHARD_FMT = "shard_{:05d}.bin"
 _COMPACT_SHARD_FMT = "shard_{gen:05d}_{seq:05d}.bin"
+#: Both shard name shapes (original and generation-numbered compaction
+#: output) — what the open()-time garbage sweep recognizes as ours.
+_SHARD_FILE_RE = re.compile(r"^shard_\d{5}(?:_\d{5})?\.bin$")
+#: Prefixes of this module's temporary files/dirs (mkstemp/mkdtemp);
+#: a crash can leave them behind, the open() sweep removes them.
+_TMP_PREFIXES = (".manifest-", ".tombstones-", ".staging-", ".compact-")
 _FORMAT_VERSION = 1
 _DEFAULT_SHARD_BYTES = 64 * 1024 * 1024
 
@@ -167,6 +175,7 @@ class MmapSignGradientStore(GradientStore):
                 json.dump(manifest, fh)
             for name in (*shard_names, _TOMBSTONES, _MANIFEST):
                 os.replace(os.path.join(staging, name), os.path.join(directory, name))
+            fsync_dir(directory)
         finally:
             shutil.rmtree(staging, ignore_errors=True)
         return cls.open(directory)
@@ -232,7 +241,33 @@ class MmapSignGradientStore(GradientStore):
                 with open(tomb_path, "r", encoding="utf-8") as fh:
                     self._tombstones = {int(c) for c in json.load(fh)["clients"]}
             self._nbytes = self.recount_nbytes()
+            self._sweep_garbage()
         return self
+
+    def _sweep_garbage(self) -> None:
+        """Remove unreferenced shard/tmp files a crashed compaction left.
+
+        A crash between :meth:`compact`'s shard ``os.replace`` loop and
+        its manifest swap leaves new-generation shard files (and
+        possibly a staging dir or manifest tmp) that no manifest
+        references; without this sweep they would leak disk across
+        repeated crashes.  Only files matching this module's naming
+        patterns are touched.
+        """
+        referenced = set(self._shard_names)
+        for name in os.listdir(self.directory):
+            if name in referenced or name in (_MANIFEST, _TOMBSTONES):
+                continue
+            if not (_SHARD_FILE_RE.match(name) or name.startswith(_TMP_PREFIXES)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.isdir(path):
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    os.unlink(path)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # reads
@@ -410,6 +445,7 @@ class MmapSignGradientStore(GradientStore):
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, os.path.join(self.directory, _TOMBSTONES))
+            fsync_dir(self.directory)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -423,7 +459,8 @@ class MmapSignGradientStore(GradientStore):
         swapped last with ``os.replace``, and only then are the old
         shard files unlinked and the tombstone sidecar emptied.  A crash
         before the manifest swap leaves the old layout fully intact (the
-        new files are unreferenced garbage); a crash after it leaves the
+        new files are unreferenced garbage, removed by the next
+        :meth:`open`); a crash after it leaves the
         new layout with stale-but-harmless tombstones naming rows that
         no longer exist.  Returns ``{"rounds", "removed_rows",
         "reclaimed_bytes"}``.
@@ -502,11 +539,19 @@ class MmapSignGradientStore(GradientStore):
                     os.path.join(staging, name), os.path.join(self.directory, name)
                 )
             fd, tmp = tempfile.mkstemp(prefix=".manifest-", dir=self.directory)
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(manifest, fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(manifest, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            # make the manifest rename (and the shard renames before
+            # it) durable across power loss, not just process crash
+            fsync_dir(self.directory)
         finally:
             shutil.rmtree(staging, ignore_errors=True)
 

@@ -31,11 +31,17 @@ cold
     bulk replay reads stay one-pass.
 
 Durability follows the RoundJournal discipline — every commit marker is
-written tmp + ``fsync`` + ``os.replace``:
+written tmp + ``fsync`` + ``os.replace``, and the containing directory
+is fsynced after the rename so the commit survives power loss, not
+just a process crash:
 
 - a spill writes new immutable shard (``.bin``) and index
   (``.idx.npz``) files, fsyncs them, then atomically rewrites
-  ``MANIFEST.json`` — the single commit point — to reference them;
+  ``MANIFEST.json`` — the single commit point — to reference them.
+  The shard I/O happens outside the store lock (snapshot → write →
+  publish), so concurrent writers and readers are never blocked on
+  disk — in background mode the writer only ever waits when the hot
+  tier reaches twice its budget;
 - :meth:`compact` writes a complete new shard generation the same way
   and only then unlinks the old one;
 - a SIGKILL at *any* point leaves either the previous manifest (new
@@ -46,8 +52,12 @@ written tmp + ``fsync`` + ``os.replace``:
 ``drop_client`` removes hot rows immediately and *logically* deletes
 disk rows from the in-memory per-round index (persisted as exact
 ``(client, round)`` pairs in ``tombstones.json`` so the deletion
-survives a restart).  :meth:`compact` rewrites shards without the dead
-rows, clearing the tombstones — bytes on disk actually shrink.  A
+survives a restart).  Disk rows whose index entry was already removed
+by a hot overlay are tracked as *shadowed* pairs and tombstoned too —
+their bytes are still on disk, and a crash before the round respills
+must not resurrect a dropped client.  :meth:`compact` rewrites shards
+without the dead rows, clearing the tombstones — bytes on disk
+actually shrink.  A
 client dropped and later re-``put`` behaves like the dict store: the
 new record is visible (the rare crash window between a re-put's spill
 and the tombstone rewrite can lose the re-put, never resurrect dropped
@@ -100,7 +110,7 @@ from repro.storage.sign_codec import (
 )
 from repro.storage.store import GradientStore
 from repro.telemetry.core import current_telemetry
-from repro.utils.serialization import load_state, save_state_atomic
+from repro.utils.serialization import fsync_dir, load_state, save_state_atomic
 
 __all__ = ["TieredSignGradientStore", "TIER_HOT", "TIER_WARM", "TIER_COLD"]
 
@@ -262,6 +272,13 @@ class TieredSignGradientStore(GradientStore):
         self.compress_level = int(compress_level)
 
         self._lock = threading.RLock()
+        #: Serializes the two manifest writers (spill and compaction).
+        #: A spill holds it across its whole snapshot → I/O → publish
+        #: sequence but holds ``_lock`` only for the (cheap) snapshot
+        #: and publish steps, so writers and readers stay live while
+        #: shard files are being written.  Ordering: always acquired
+        #: BEFORE ``_lock``, never while holding it.
+        self._maintenance_lock = threading.Lock()
         self._hot: Dict[int, Dict[int, Tuple[np.ndarray, int]]] = {}
         self._hot_nbytes = 0
         self._sealed: set = set()
@@ -277,6 +294,13 @@ class TieredSignGradientStore(GradientStore):
         #: True while the in-memory pair set has diverged from the
         #: sidecar (a re-put resurrected a pair); the next spill syncs.
         self._tombstones_dirty = False
+        #: (client, round) pairs whose durable disk row was removed
+        #: from the in-memory index by a hot overlay (``_insert_hot``)
+        #: but whose bytes are still on disk.  ``drop_client`` must
+        #: tombstone these too — the index no longer knows about the
+        #: row, yet a crash before the round respills would otherwise
+        #: resurrect the dropped client's durable data on :meth:`open`.
+        self._shadowed: set = set()
         self._dead_disk_bytes = 0
         self._cold_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         #: Test hook: called with a crash-point name at every commit
@@ -445,6 +469,10 @@ class TieredSignGradientStore(GradientStore):
             os.fsync(fh.fileno())
         self._maybe_crash("manifest-tmp-written")
         os.replace(tmp, path)
+        # The rename itself must survive power loss, not just the file
+        # contents — this also makes the earlier shard/index renames in
+        # the same directory durable.
+        fsync_dir(self.directory)
 
     def _write_tombstones(self) -> None:
         """Persist the (client, round) deletion pairs atomically."""
@@ -456,6 +484,7 @@ class TieredSignGradientStore(GradientStore):
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(self.directory)
         self._tombstones_dirty = False
 
     # ------------------------------------------------------------------
@@ -507,7 +536,8 @@ class TieredSignGradientStore(GradientStore):
         with self._lock:
             self._check_open()
             self._insert_hot(round_index, client_id, packed, length)
-            self._after_write(round_index)
+            self._max_round = max(self._max_round, round_index)
+        self._maybe_spill()
         if telemetry.enabled:
             raw_bytes = length * 4
             telemetry.inc("storage_encoded_elements_total", length, backend="tiered")
@@ -536,7 +566,7 @@ class TieredSignGradientStore(GradientStore):
                 self.put(round_index, client_id, gradient)
             with self._lock:
                 self._seal(round_index)
-                self._enforce_budget()
+            self._maybe_spill()
             return
         telemetry = current_telemetry()
         with telemetry.span("storage_encode_seconds"):
@@ -549,7 +579,7 @@ class TieredSignGradientStore(GradientStore):
                 self._insert_hot(round_index, client_id, row.copy(), length)
             self._max_round = max(self._max_round, round_index)
             self._seal(round_index)
-            self._enforce_budget()
+        self._maybe_spill()
         if telemetry.enabled:
             n = len(vectors)
             raw_bytes = length * 4 * n
@@ -584,7 +614,8 @@ class TieredSignGradientStore(GradientStore):
             self._insert_hot(
                 round_index, client_id, packed.reshape(-1).copy(), int(length)
             )
-            self._after_write(round_index)
+            self._max_round = max(self._max_round, round_index)
+        self._maybe_spill()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -609,6 +640,10 @@ class TieredSignGradientStore(GradientStore):
             if pos >= 0:
                 self._dead_disk_bytes += packed_size_bytes(int(dr.lengths[pos]))
                 dr.delete_position(pos)
+                # The durable row's bytes are still on disk; remember
+                # the pair so drop_client can tombstone it even though
+                # the index entry is gone.
+                self._shadowed.add((cid, t))
         # A re-put of a dropped (client, round) resurrects it — match
         # the dict store's drop-then-put semantics.  The sidecar is not
         # rewritten here (the overlay is volatile anyway); the dirty
@@ -617,10 +652,10 @@ class TieredSignGradientStore(GradientStore):
         if (cid, t) in self._tombstones:
             self._tombstones.discard((cid, t))
             self._tombstones_dirty = True
-
-    def _after_write(self, t: int) -> None:
-        self._max_round = max(self._max_round, t)
-        self._enforce_budget()
+            # The tombstoned disk row still physically exists until
+            # compaction; if the client is dropped again before this
+            # round respills, the pair must be re-tombstoned.
+            self._shadowed.add((cid, t))
 
     def _seal(self, t: int) -> None:
         if t in self._hot:
@@ -630,30 +665,47 @@ class TieredSignGradientStore(GradientStore):
         """Mark a hot round complete (spill-eligible) explicitly."""
         with self._lock:
             self._seal(round_index)
-            self._enforce_budget()
+        self._maybe_spill()
 
     def _spillable(self) -> List[int]:
         return sorted(
             t for t in self._hot if t < self._max_round or t in self._sealed
         )
 
-    def _enforce_budget(self) -> None:
+    def _inline_spill_needed(self) -> bool:
+        """Under ``_lock``: must the calling writer spill right now?"""
         if self._hot_nbytes <= self.hot_budget_bytes:
             self._update_gauges()
-            return
+            return False
         if self.spill_mode == "background":
             self._spill_wakeup.set()
-            if self._hot_nbytes <= 2 * self.hot_budget_bytes:
+            # Hard cap: past twice the budget the writer spills inline
+            # rather than letting the hot tier outgrow the worker.
+            return self._hot_nbytes > 2 * self.hot_budget_bytes
+        return True
+
+    def _maybe_spill(self) -> None:
+        """Run any spill the last write made necessary.
+
+        Called WITHOUT ``_lock`` held: :meth:`_spill_rounds` snapshots
+        under the lock, performs shard I/O outside it, and re-acquires
+        it to publish, so concurrent writers block only for the cheap
+        snapshot/publish sections — never for the disk writes.  Two
+        passes: sealed rounds first, then (if the hot tier is still
+        over budget) everything, so a single in-flight round larger
+        than the whole budget spills mid-round as a last resort (later
+        writes overlay it).
+        """
+        for last_resort in (False, True):
+            with self._lock:
+                if not self._inline_spill_needed():
+                    return
+                rounds = self._spillable()
+                if last_resort or not rounds:
+                    rounds = sorted(self._hot)
+            if not rounds:
                 return
-            # Hard cap: the writer spills inline rather than letting
-            # the hot tier grow unboundedly past the worker.
-        rounds = self._spillable()
-        if rounds:
             self._spill_rounds(rounds)
-        if self._hot_nbytes > self.hot_budget_bytes and self._hot:
-            # Last resort: a single in-flight round larger than the
-            # whole budget spills mid-round (later writes overlay it).
-            self._spill_rounds(sorted(self._hot))
 
     def _background_loop(self) -> None:
         while True:
@@ -662,9 +714,13 @@ class TieredSignGradientStore(GradientStore):
             with self._lock:
                 if self._closed:
                     return
-                rounds = self._spillable()
-                if rounds and self._hot_nbytes > self.hot_budget_bytes:
-                    self._spill_rounds(rounds)
+                rounds = (
+                    self._spillable()
+                    if self._hot_nbytes > self.hot_budget_bytes
+                    else []
+                )
+            if rounds:
+                self._spill_rounds(rounds)
 
     # ------------------------------------------------------------------
     # spill
@@ -696,74 +752,150 @@ class TieredSignGradientStore(GradientStore):
         return clients, lengths, payloads, raw_bytes
 
     def _spill_rounds(self, rounds: List[int]) -> None:
-        """Move hot rounds into new warm shards; crash-safe.
+        """Move hot rounds into new warm shards; crash-safe, decoupled.
 
-        Writes the shard + index files, publishes the manifest (old
-        shard list + new names), and only then mutates in-memory state
-        — an injected crash before the publish leaves both disk and
-        memory at the old state.
+        Three steps under the maintenance lock (which serializes the
+        two manifest writers, spill and compaction):
+
+        1. snapshot — under ``_lock``, copy the rounds' merged payloads
+           (disk block + hot overlay) and the current shard list;
+        2. I/O — WITHOUT ``_lock``: write shard + index files, publish
+           the manifest (old shard list + new names).  Writers and
+           readers proceed concurrently against the old state;
+        3. publish — under ``_lock`` again, swap the new blocks into
+           the in-memory index, reconciling anything that raced the
+           I/O: an overlay written mid-spill keeps shadowing its
+           just-spilled row, and a client dropped mid-spill is
+           tombstoned so the freshly durable row cannot resurrect it.
+
+        An injected crash before the manifest replace leaves both disk
+        and memory at the old state.
         """
-        rounds = [t for t in rounds if t in self._hot]
-        if not rounds:
-            return
         telemetry = current_telemetry()
-        with telemetry.span("storage_tier_spill_seconds"):
-            specs = []
-            for t in sorted(rounds):
-                clients, lengths, payloads, raw = self._merged_round_entries(t)
-                if not len(clients):
-                    continue
-                specs.append(
-                    {
-                        "round": t,
-                        "clients": clients,
-                        "lengths": lengths,
-                        "block": b"".join(payloads),
-                        "raw_bytes": raw,
-                        "codec": _CODEC_RAW,
-                        "stored": None,
-                    }
-                )
-            new_names, placements = self._write_shard_files(specs)
-            self._write_manifest(self._shard_names + new_names)
-            self._maybe_crash("after-manifest-replace")
-
-            # ---- commit point passed: adopt the new state in memory.
-            base = len(self._shard_names)
-            self._shard_names.extend(new_names)
-            self._shard_maps.extend([None] * len(new_names))
-            for spec, (local_shard, offset) in zip(specs, placements):
-                t = spec["round"]
-                previous = self._disk.get(t)
-                if previous is not None:
-                    self._dead_disk_bytes += previous.stored_bytes
-                self._disk[t] = _DiskRound(
-                    shard=base + local_shard,
-                    offset=offset,
-                    stored_bytes=len(spec["block"]),
-                    raw_bytes=spec["raw_bytes"],
-                    codec=_CODEC_RAW,
-                    clients=spec["clients"],
-                    lengths=spec["lengths"],
-                    starts=_starts_of(spec["lengths"]),
-                )
-            for t in rounds:
-                hot_round = self._hot.pop(t, None)
-                if hot_round:
-                    self._hot_nbytes -= sum(
-                        p.nbytes for p, _ in hot_round.values()
+        with self._maintenance_lock, telemetry.span("storage_tier_spill_seconds"):
+            with self._lock:
+                rounds = sorted(t for t in set(rounds) if t in self._hot)
+                specs = []
+                for t in rounds:
+                    clients, lengths, payloads, raw = self._merged_round_entries(t)
+                    if not len(clients):
+                        continue
+                    specs.append(
+                        {
+                            "round": t,
+                            "clients": clients,
+                            "lengths": lengths,
+                            "block": b"".join(payloads),
+                            "raw_bytes": raw,
+                            "codec": _CODEC_RAW,
+                            "stored": None,
+                            # exact hot tuples at snapshot time, so the
+                            # publish step can tell a consumed entry
+                            # from one overwritten mid-spill
+                            "hot_entries": dict(self._hot.get(t, {})),
+                        }
                     )
-                self._sealed.discard(t)
-            # Spilled rounds were rewritten without dead rows; their
-            # tombstone pairs are resolved (see module docstring for
-            # the crash-window semantics).
-            resolved = {pair for pair in self._tombstones if pair[1] in set(rounds)}
-            if resolved or self._tombstones_dirty:
-                self._tombstones -= resolved
-                self._write_tombstones()
+                if not specs:
+                    return
+                manifest_base = list(self._shard_names)
+                snap_tombstones = set(self._tombstones)
+            new_names, placements = self._write_shard_files(specs)
+            self._write_manifest(manifest_base + new_names)
+            self._maybe_crash("after-manifest-replace")
+            with self._lock:
+                self._publish_spill(specs, new_names, placements, snap_tombstones)
         if telemetry.enabled:
-            telemetry.inc("storage_tier_spills_total", len(rounds))
+            telemetry.inc("storage_tier_spills_total", len(specs))
         self._update_gauges()
+
+    def _publish_spill(
+        self,
+        specs: List[dict],
+        new_names: List[str],
+        placements: List[Tuple[int, int]],
+        snap_tombstones: set,
+    ) -> None:
+        """Adopt a finished spill (under ``_lock``), reconciling races.
+
+        The shard files hold the snapshot-time rows; only the shard
+        list (frozen by the maintenance lock) and the hot/tombstone
+        state can have moved since.
+        """
+        base = len(self._shard_names)
+        self._shard_names.extend(new_names)
+        self._shard_maps.extend([None] * len(new_names))
+        spilled = set()
+        newly_shadowed = set()
+        pairs_changed = False
+        for spec, (local_shard, offset) in zip(specs, placements):
+            t = spec["round"]
+            spilled.add(t)
+            previous = self._disk.get(t)
+            if previous is not None:
+                self._dead_disk_bytes += previous.stored_bytes
+            dr = _DiskRound(
+                shard=base + local_shard,
+                offset=offset,
+                stored_bytes=len(spec["stored"]),
+                raw_bytes=spec["raw_bytes"],
+                codec=_CODEC_RAW,
+                clients=spec["clients"],
+                lengths=spec["lengths"],
+                starts=_starts_of(spec["lengths"]),
+            )
+            hot_round = self._hot.get(t, {})
+            for cid, entry in spec["hot_entries"].items():
+                current = hot_round.get(cid)
+                if current is entry:
+                    # unchanged since the snapshot: consumed by the spill
+                    del hot_round[cid]
+                    self._hot_nbytes -= entry[0].nbytes
+                    continue
+                pos = dr.position_of(cid)
+                if pos >= 0:
+                    self._dead_disk_bytes += packed_size_bytes(int(dr.lengths[pos]))
+                    dr.delete_position(pos)
+                if current is None:
+                    # dropped while the spill ran; the new shard holds
+                    # the row durably, so it needs a tombstone
+                    self._tombstones.add((cid, t))
+                    pairs_changed = True
+                else:
+                    # overwritten while the spill ran: the newer hot
+                    # row keeps shadowing the just-spilled copy
+                    newly_shadowed.add((cid, t))
+            # disk-sourced rows whose client was dropped mid-spill:
+            # the drop deleted them from the OLD index; delete them
+            # from the new one too (their tombstone pairs stay)
+            for cid, _t in [
+                p
+                for p in self._tombstones
+                if p[1] == t and p not in snap_tombstones
+            ]:
+                pos = dr.position_of(cid)
+                if pos >= 0:
+                    self._dead_disk_bytes += packed_size_bytes(int(dr.lengths[pos]))
+                    dr.delete_position(pos)
+            self._disk[t] = dr
+            if not hot_round:
+                self._hot.pop(t, None)
+                self._sealed.discard(t)
+        # Spilled rounds were rewritten without their snapshot-time
+        # dead rows, so those tombstone pairs are resolved (pairs added
+        # mid-spill reference the new shard and stay); shadowed rows
+        # are superseded by the new round copies, except the ones a
+        # mid-spill overlay just re-shadowed.
+        resolved = {
+            p
+            for p in self._tombstones
+            if p[1] in spilled and p in snap_tombstones
+        }
+        self._shadowed = {
+            p for p in self._shadowed if p[1] not in spilled
+        } | newly_shadowed
+        if resolved or pairs_changed or self._tombstones_dirty:
+            self._tombstones -= resolved
+            self._write_tombstones()
 
     def _write_shard_files(
         self, specs: List[dict]
@@ -821,13 +953,17 @@ class TieredSignGradientStore(GradientStore):
         return names, placements
 
     def flush(self) -> None:
-        """Seal and spill every hot round; returns with all data durable."""
+        """Seal and spill every hot round; returns with all data durable.
+
+        Rows written concurrently with the flush may stay hot — the
+        guarantee covers everything written before the call.
+        """
         with self._lock:
             for t in list(self._hot):
                 self._sealed.add(t)
             rounds = sorted(self._hot)
-            if rounds:
-                self._spill_rounds(rounds)
+        if rounds:
+            self._spill_rounds(rounds)
 
     def close(self) -> None:
         """Flush, stop the background spiller, release memmaps."""
@@ -861,7 +997,9 @@ class TieredSignGradientStore(GradientStore):
         """
         horizon = self.cold_after if cold_after is None else cold_after
         telemetry = current_telemetry()
-        with self._lock:
+        # Lock order: maintenance (serializes vs. spill, which may be
+        # mid-I/O without holding ``_lock``) before ``_lock``.
+        with self._maintenance_lock, self._lock:
             self._check_open()
             with telemetry.span("storage_tier_compact_seconds"):
                 old_names = list(self._shard_names)
@@ -930,11 +1068,15 @@ class TieredSignGradientStore(GradientStore):
                         starts=_starts_of(spec["lengths"]),
                     )
                 self._dead_disk_bytes = 0
-                if self._tombstones:
+                if self._tombstones or self._tombstones_dirty:
                     # Every pair referenced a pre-compaction disk row;
                     # the rewrite dropped them all physically.
                     self._tombstones = set()
                     self._write_tombstones()
+                # Shadowed rows had no index entry, so the rewrite
+                # dropped them physically too — nothing left to
+                # tombstone on a later drop.
+                self._shadowed = set()
                 for name in old_names:
                     for path in (
                         os.path.join(self.directory, name),
@@ -1257,6 +1399,15 @@ class TieredSignGradientStore(GradientStore):
                     self._tombstones.add((client_id, t))
                     dropped_pairs = True
                     removed += 1
+            # Rows shadowed by a hot overlay have no index entry, but
+            # their bytes are still durable on disk — tombstone them
+            # too, or a restart before the round respills would
+            # resurrect them (the hot overlay itself was removed and
+            # counted above).
+            for pair in [p for p in self._shadowed if p[0] == client_id]:
+                self._shadowed.discard(pair)
+                self._tombstones.add(pair)
+                dropped_pairs = True
             if dropped_pairs:
                 self._write_tombstones()
             self._update_gauges()

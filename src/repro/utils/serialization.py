@@ -25,9 +25,31 @@ __all__ = [
     "load_arrays",
     "save_state_atomic",
     "load_state",
+    "fsync_dir",
 ]
 
 _META_KEY = "__meta_json__"
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a preceding ``os.replace`` into it is durable.
+
+    ``os.replace`` is atomic, but the new directory entry only survives
+    a power failure once the directory itself has been fsynced — commit
+    markers (manifests, tombstone sidecars) call this right after the
+    rename.  Platforms that cannot open a directory read-only simply
+    skip the sync.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _jsonify(value: Any) -> Any:

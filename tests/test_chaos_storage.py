@@ -183,6 +183,53 @@ def test_crash_between_tmp_write_and_rename_mmap_compact(seed, tmp_path, monkeyp
 
 
 @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_mmap_compact_orphans_swept_on_reopen(seed, tmp_path, monkeypatch):
+    """A crash between compact()'s shard renames and its manifest swap
+    leaves new-generation shards no manifest references; open() must
+    sweep them (and the manifest tmp) instead of leaking disk."""
+    rng = np.random.default_rng(seed)
+    reference = SignGradientStore(delta=DELTA)
+    for t, cohort in _cohorts(rng, range(4)).items():
+        reference.put_round(t, cohort)
+    directory = str(tmp_path / "mmap")
+    store = MmapSignGradientStore.from_store(reference, directory)
+    old_names = set(store._shard_names)
+    reference.drop_client(2)
+    store.drop_client(2)
+    pre = _snapshot(reference)
+
+    real_replace = os.replace
+
+    def crash_on_manifest(src, dst):
+        if os.path.basename(dst) == "manifest.json":
+            raise _InjectedCrash(dst)
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", crash_on_manifest)
+    with pytest.raises(_InjectedCrash):
+        store.compact()
+    monkeypatch.undo()
+
+    orphans = [
+        f
+        for f in os.listdir(directory)
+        if f.startswith("shard_") and f not in old_names
+    ]
+    assert orphans, "crash point should have left unreferenced shards behind"
+    # the aborted manifest tmp was cleaned up on the way out
+    assert not [f for f in os.listdir(directory) if f.startswith(".manifest-")]
+
+    reopened = MmapSignGradientStore.open(directory)
+    assert _snapshot(reopened) == pre
+    leftover = [
+        f
+        for f in os.listdir(directory)
+        if f.startswith("shard_") and f not in set(reopened._shard_names)
+    ]
+    assert leftover == [], "open() must sweep unreferenced shard files"
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
 def test_crash_garbage_is_swept_on_reopen(seed, tmp_path):
     """Unreferenced shard/tmp files from a torn spill are deleted by open()."""
     rng = np.random.default_rng(seed)

@@ -110,6 +110,53 @@ class TestBoundedIngestion:
         _assert_same_view(reference, store)
         store.close()
 
+    def test_background_spill_does_not_block_writers(self, rng, tmp_path):
+        # the whole point of spill_mode="background": while the spill
+        # thread is parked inside shard file I/O, a writer must get in
+        # and out of put() without waiting for the disk
+        store = TieredSignGradientStore(
+            str(tmp_path / "t"),
+            delta=DELTA,
+            hot_budget_bytes=1024,
+            spill_mode="background",
+        )
+        entered = threading.Event()
+        gate = threading.Event()
+
+        def park_in_io(point):
+            if point == "after-shard-write":
+                entered.set()
+                gate.wait(timeout=30)
+
+        store._crash_hook = park_in_io
+        # ~75 B/round: 15 rounds exceed the 1 KiB budget (waking the
+        # spiller) but stay under the 2 KiB hard cap (no inline spill)
+        reference = _fill(store, rng, num_rounds=15)
+        assert entered.wait(timeout=30), "background spill never started"
+
+        done = threading.Event()
+        extra = rng.normal(size=DIM)
+
+        def write():
+            reference.put(99, 1, extra)
+            store.put(99, 1, extra)
+            done.set()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            assert done.wait(timeout=10), (
+                "put() blocked behind an in-flight background spill"
+            )
+        finally:
+            gate.set()
+            store._crash_hook = None
+            writer.join(timeout=10)
+        store.flush()
+        assert store.tier_rounds()[TIER_HOT] == 0
+        _assert_same_view(reference, store)
+        store.close()
+
     def test_overlay_respill(self, rng, tmp_path):
         # write to a round that already spilled: the hot overlay wins
         # immediately and the next spill folds it into the shard row
@@ -143,6 +190,52 @@ class TestTombstonesAndCompaction:
         assert stats["reclaimed_bytes"] > 0
         assert reopened.disk_bytes() < disk_before
         _assert_same_view(reference, reopened)
+
+    def test_drop_after_hot_overlay_is_durable(self, rng, tmp_path):
+        # overlaying a durable row deletes its index entry in memory
+        # only; dropping the client right after must still tombstone
+        # the durable bytes — a restart before the round respills used
+        # to resurrect them
+        directory = str(tmp_path / "t")
+        store = TieredSignGradientStore(directory, delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        g = rng.normal(size=DIM)
+        reference.put(0, 2, g)
+        store.put(0, 2, g)
+        reference.drop_client(2)
+        assert store.drop_client(2) > 0
+        _assert_same_view(reference, store)
+        # simulated crash before the overlay respills: only durable
+        # state survives, and it must not contain client 2
+        reopened = TieredSignGradientStore.open(directory)
+        assert not reopened.has(0, 2)
+        for t in reopened.rounds():
+            assert 2 not in reopened.clients_at(t)
+
+    def test_drop_reput_drop_again_is_durable(self, rng, tmp_path):
+        # drop → re-put (resurrects the pair in memory) → an unrelated
+        # drop rewrites the sidecar without the pair → drop again while
+        # the re-put is still hot-only.  The second drop must restore
+        # the tombstone or a restart resurrects the original row.
+        directory = str(tmp_path / "t")
+        store = TieredSignGradientStore(directory, delta=DELTA)
+        reference = _fill(store, rng)
+        store.flush()
+        reference.drop_client(2)
+        store.drop_client(2)
+        g = rng.normal(size=DIM)
+        reference.put(1, 2, g)
+        store.put(1, 2, g)
+        reference.drop_client(4)
+        store.drop_client(4)
+        reference.drop_client(2)
+        store.drop_client(2)
+        _assert_same_view(reference, store)
+        reopened = TieredSignGradientStore.open(directory)
+        for t in reopened.rounds():
+            assert 2 not in reopened.clients_at(t)
+            assert 4 not in reopened.clients_at(t)
 
     def test_reput_after_drop_survives_spill_and_reopen(self, rng, tmp_path):
         directory = str(tmp_path / "t")
