@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo bench-storage-scale examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo bench-storage-scale bench-prefetch bench-report examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -56,6 +56,18 @@ bench-slo:
 # into benchmarks/results/storage_scale.json.
 bench-storage-scale:
 	pytest benchmarks/test_bench_storage_scale.py --benchmark-only
+
+# Pipelined replay data path: prefetch-on vs -off byte identity over
+# every sign backend, >=1.3x replay speedup on the storage-bound
+# (latency-modelled cold-tier) workload, and shared decode-cache hits
+# at daemon concurrency 4 into benchmarks/results/prefetch.json.
+bench-prefetch:
+	pytest benchmarks/test_bench_prefetch.py --benchmark-only
+
+# Aggregate benchmarks/results/*.json into results/summary.json
+# (benchmark name, headline metric, speedup where present).
+bench-report:
+	python benchmarks/report.py
 
 examples:
 	python examples/quickstart.py

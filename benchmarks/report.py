@@ -1,0 +1,105 @@
+"""Aggregate tracked benchmark records into one summary.
+
+Reads every ``benchmarks/results/*.json`` record (the files the
+``bench-*`` targets write) and distils each into a one-line row —
+benchmark name, a headline metric, and any speedups found anywhere in
+the record — then writes the collection to ``results/summary.json``
+and prints the table.  Run via ``make bench-report``.
+
+The records are heterogeneous by design (each benchmark saves the
+shape its workload needs), so the headline is chosen heuristically:
+the first scalar whose key matches, in order, ``speedup``,
+``accuracy``, ``seconds``, ``bytes``.  Embedded telemetry snapshots
+are skipped — they are schemas, not headlines.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, Iterator, Tuple
+
+RESULTS_GLOB = os.path.join(os.path.dirname(__file__), "results", "*.json")
+SUMMARY_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "results", "summary.json"
+)
+#: Key substrings that make a scalar headline-worthy, most wanted first.
+HEADLINE_PRIORITY = ("speedup", "accuracy", "recovered", "seconds", "bytes")
+
+
+def _walk_scalars(record, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every finite scalar leaf."""
+    if isinstance(record, dict):
+        for key, value in record.items():
+            if key == "telemetry":
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _walk_scalars(value, path)
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            yield from _walk_scalars(value, f"{prefix}[{index}]")
+    elif isinstance(record, (int, float)) and not isinstance(record, bool):
+        yield prefix, float(record)
+
+
+def summarize_record(name: str, record: dict) -> dict:
+    scalars = list(_walk_scalars(record))
+    speedups: Dict[str, float] = {
+        path: value for path, value in scalars if "speedup" in path.lower()
+    }
+    headline = None
+    if speedups:
+        path, value = max(speedups.items(), key=lambda item: item[1])
+        headline = {"metric": path, "value": value}
+    for pattern in HEADLINE_PRIORITY if headline is None else ():
+        for path, value in scalars:
+            if pattern in path.lower():
+                headline = {"metric": path, "value": value}
+                break
+        if headline:
+            break
+    row = {"name": name, "headline": headline}
+    if speedups:
+        row["speedups"] = speedups
+    scale = record.get("scale")
+    if scale is not None:
+        row["scale"] = scale
+    return row
+
+
+def build_summary() -> dict:
+    rows = []
+    for path in sorted(glob.glob(RESULTS_GLOB)):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as exc:
+            rows.append({"name": name, "error": str(exc)})
+            continue
+        rows.append(summarize_record(name, record))
+    return {"source": "benchmarks/results", "benchmarks": rows}
+
+
+def main() -> int:
+    summary = build_summary()
+    os.makedirs(os.path.dirname(SUMMARY_PATH), exist_ok=True)
+    with open(SUMMARY_PATH, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in summary["benchmarks"]:
+        headline = row.get("headline") or {"metric": "-", "value": float("nan")}
+        best = max(row.get("speedups", {}).values(), default=None)
+        speedup = f"{best:.2f}x" if best is not None else "-"
+        print(
+            f"{row['name']:<24} {speedup:>8}  "
+            f"{headline['metric']} = {headline['value']:.6g}"
+        )
+    print(f"\nwrote {os.path.relpath(SUMMARY_PATH)} "
+          f"({len(summary['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

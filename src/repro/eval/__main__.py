@@ -34,7 +34,12 @@ from repro.eval.config import available_scales
 from repro.eval.experiments import EXPERIMENT_RUNNERS
 from repro.eval.reporting import format_result
 from repro.parallel.policy import BACKENDS, default_execution, set_default_execution
-from repro.storage import SIGN_BACKENDS, set_default_sign_backend
+from repro.storage import (
+    SIGN_BACKENDS,
+    set_default_cold_cache_blocks,
+    set_default_prefetch_depth,
+    set_default_sign_backend,
+)
 from repro.telemetry import (
     JsonlSink,
     Telemetry,
@@ -102,6 +107,22 @@ def main(argv=None) -> int:
         "'tiered' (hot/warm/cold tiers, bounded memory, compressed cold "
         "rounds); recovered models are bitwise identical across backends",
     )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=None,
+        help="replay data-path look-ahead: decode this many rounds ahead on "
+        "a background thread while recovery computes (default: 0, the "
+        "synchronous path); recovered models are bitwise identical at "
+        "every depth",
+    )
+    parser.add_argument(
+        "--cold-cache-blocks",
+        type=int,
+        default=None,
+        help="tiered store only: decompressed cold round blocks kept in the "
+        "per-store LRU (default: 4; 0 disables caching)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
     args = parser.parse_args(argv)
 
@@ -119,6 +140,14 @@ def main(argv=None) -> int:
     previous_store = None
     if args.store is not None:
         previous_store = set_default_sign_backend(args.store)
+
+    previous_prefetch = None
+    if args.prefetch_depth is not None:
+        previous_prefetch = set_default_prefetch_depth(args.prefetch_depth)
+
+    previous_cold_cache = None
+    if args.cold_cache_blocks is not None:
+        previous_cold_cache = set_default_cold_cache_blocks(args.cold_cache_blocks)
 
     telemetry = None
     previous = None
@@ -149,6 +178,10 @@ def main(argv=None) -> int:
             )
         if previous_store is not None:
             set_default_sign_backend(previous_store)
+        if previous_prefetch is not None:
+            set_default_prefetch_depth(previous_prefetch)
+        if previous_cold_cache is not None:
+            set_default_cold_cache_blocks(previous_cold_cache)
         if telemetry is not None:
             set_telemetry(previous)
             telemetry.close()

@@ -37,7 +37,7 @@ import itertools
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -133,6 +133,17 @@ class Executor:
         """
         raise NotImplementedError
 
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future":
+        """Dispatch one ``fn(*args)`` call; returns its Future.
+
+        The streaming counterpart of :meth:`run` for pipelines that
+        overlap background work with the caller's own compute (the
+        replay prefetcher).  The serial engine runs the call inline and
+        returns an already-resolved future, so ``submit`` degenerates
+        to the synchronous path with no thread involved.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release pool threads/processes and the installed context."""
         raise NotImplementedError
@@ -159,6 +170,14 @@ class _SerialExecutor(Executor):
         results = [fn(task) for task in tasks]
         return results, PoolStats(0.0, time.perf_counter() - start)
 
+    def submit(self, fn, *args):
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # delivered through future.result()
+            future.set_exception(exc)
+        return future
+
     def close(self):
         if not self._closed and self.context_key is not None:
             _CONTEXTS.pop(self.context_key, None)
@@ -182,6 +201,9 @@ class _ThreadExecutor(Executor):
         results = [f.result() for f in futures]
         t2 = time.perf_counter()
         return results, PoolStats(t1 - t0, t2 - t1)
+
+    def submit(self, fn, *args):
+        return self._pool.submit(fn, *args)
 
     def close(self):
         if not self._closed:
@@ -214,6 +236,9 @@ class _ProcessExecutor(Executor):
         results = [f.result() for f in futures]
         t2 = time.perf_counter()
         return results, PoolStats(t1 - t0, t2 - t1)
+
+    def submit(self, fn, *args):
+        return self._pool.submit(fn, *args)
 
     def close(self):
         if not self._closed:

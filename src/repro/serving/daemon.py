@@ -147,6 +147,13 @@ class ErasureDaemon:
         path bypasses ``retry_policy`` — a transient fault fails the
         group's remaining members, and client retries re-execute
         against the salvaged forest.
+    prefetch_depth:
+        When not ``None``, overrides the service's replay data-path
+        look-ahead (:mod:`repro.storage.prefetch`) for every request
+        this daemon serves; ``0`` forces the synchronous path.
+        :meth:`stop` drains the service's prefetch resources (decode
+        thread pool + shared round cache) after the workers exit, so a
+        stopped daemon leaves no background decode threads behind.
     """
 
     def __init__(
@@ -162,7 +169,10 @@ class ErasureDaemon:
         clock: Callable[[], float] = time.monotonic,
         idempotency_capacity: int = 4096,
         fusion_width: int = 1,
+        prefetch_depth: Optional[int] = None,
     ):
+        if prefetch_depth is not None and prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         if workers < 1:
@@ -176,6 +186,9 @@ class ErasureDaemon:
         if idempotency_capacity < 1:
             raise ValueError("idempotency_capacity must be >= 1")
         self.service = service
+        if prefetch_depth is not None:
+            service.prefetch_depth = prefetch_depth
+        self.prefetch_depth = prefetch_depth
         self.capacity = capacity
         self.workers = workers
         self.default_deadline_seconds = default_deadline_seconds
@@ -260,6 +273,10 @@ class ErasureDaemon:
         for thread in self._threads:
             thread.join(timeout=1.0)
         self._threads = []
+        # After a clean join no replay is mid-flight, so this leaves no
+        # decode threads behind; after a timed-out stop a straggler may
+        # still hold the service lock — skip rather than hang.
+        self.service.drain_prefetch(blocking=False)
         if self.flusher is not None:
             self.flusher.stop()
 

@@ -14,7 +14,17 @@ from repro.storage.sign_codec import (
     unpack_signs,
 )
 from repro.storage.mmap_store import MmapSignGradientStore
-from repro.storage.tiered import TieredSignGradientStore
+from repro.storage.prefetch import (
+    RoundDecodeCache,
+    RoundPrefetcher,
+    default_prefetch_depth,
+    set_default_prefetch_depth,
+)
+from repro.storage.tiered import (
+    TieredSignGradientStore,
+    default_cold_cache_blocks,
+    set_default_cold_cache_blocks,
+)
 from repro.storage.store import (
     SIGN_BACKENDS,
     FullGradientStore,
@@ -31,11 +41,15 @@ __all__ = [
     "GradientStore",
     "MmapSignGradientStore",
     "ModelCheckpointStore",
+    "RoundDecodeCache",
+    "RoundPrefetcher",
     "SIGN_BACKENDS",
     "SignGradientStore",
     "TieredSignGradientStore",
     "decode_gradient",
     "decode_round",
+    "default_cold_cache_blocks",
+    "default_prefetch_depth",
     "default_sign_backend",
     "encode_gradient",
     "encode_round",
@@ -43,6 +57,8 @@ __all__ = [
     "pack_signs",
     "pack_signs_batch",
     "packed_size_bytes",
+    "set_default_cold_cache_blocks",
+    "set_default_prefetch_depth",
     "set_default_sign_backend",
     "storage_savings_ratio",
     "ternarize",

@@ -78,6 +78,7 @@ class MmapSignGradientStore(GradientStore):
     """
 
     supports_bulk_round = True
+    telemetry_backend = "mmap"
 
     def __init__(self) -> None:
         raise TypeError(
@@ -345,6 +346,24 @@ class MmapSignGradientStore(GradientStore):
                 backend="mmap",
             )
             telemetry.inc("storage_bulk_decode_rounds_total", 1, backend="mmap")
+        return out
+
+    def encoded_round(self, round_index):
+        """Raw ``{client: (packed view, length)}`` payloads of one round.
+
+        Zero-copy memmap views (read-only), tombstoned clients
+        filtered — the codec hook the base-class ``get_round`` fallback
+        batches through one LUT pass.
+        """
+        if round_index not in self._rounds:
+            return {}
+        shard, offset, clients, lengths = self._rounds[round_index]
+        out = {}
+        for cid, length in zip(clients, lengths):
+            width = packed_size_bytes(length)
+            if cid not in self._tombstones:
+                out[cid] = (self._shards[shard][offset : offset + width], length)
+            offset += width
         return out
 
     def has(self, round_index: int, client_id: int) -> bool:

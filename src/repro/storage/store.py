@@ -22,7 +22,7 @@ telemetry the instrumentation short-circuits to nothing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -87,6 +87,10 @@ class GradientStore:
     #: per-client error isolation.
     supports_bulk_round = False
 
+    #: ``backend`` label the base :meth:`get_round` fallback stamps on
+    #: its decode telemetry.
+    telemetry_backend = "sign"
+
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         """Record ``gradient`` for ``client_id`` at ``round_index``."""
         raise NotImplementedError
@@ -112,18 +116,69 @@ class GradientStore:
         """
         raise NotImplementedError
 
+    def encoded_round(
+        self, round_index: int
+    ) -> "Optional[Dict[int, Tuple[np.ndarray, int]]]":
+        """One round's raw ``{client_id: (packed, length)}`` payloads.
+
+        Optional codec hook: sign backends return their 2-bit payloads
+        without decoding, which lets the base :meth:`get_round`
+        fallback batch the whole cohort through one
+        :func:`~repro.storage.sign_codec.decode_round` LUT pass even
+        when the backend does not advertise ``supports_bulk_round``.
+        The base implementation returns ``None`` (no encoded view
+        available); backends without sign payloads leave it that way.
+        """
+        return None
+
     def get_round(self, round_index: int) -> Dict[int, np.ndarray]:
         """Decode one whole round as ``{client_id: float64 vector}``.
 
         Returns an empty dict for a round with no records.  The base
-        implementation loops :meth:`get`; backends with a batched codec
-        override it (see :meth:`SignGradientStore.get_round`) and set
-        ``supports_bulk_round`` — every override returns values bitwise
-        identical to the per-client path.
+        implementation batches the round through one
+        :func:`~repro.storage.sign_codec.decode_round` pass when the
+        backend exposes :meth:`encoded_round` payloads (falling back to
+        a per-client :meth:`get` loop otherwise, or when payload
+        lengths differ); backends with a genuinely batched read path
+        override it and set ``supports_bulk_round``.  Every path
+        returns values bitwise identical to per-client :meth:`get`.
         """
-        return {
-            cid: self.get(round_index, cid) for cid in self.clients_at(round_index)
-        }
+        try:
+            encoded = self.encoded_round(round_index)
+        except Exception:
+            encoded = None
+        if not encoded:
+            return {
+                cid: self.get(round_index, cid)
+                for cid in self.clients_at(round_index)
+            }
+        entries = sorted(encoded.items())
+        telemetry = current_telemetry()
+        backend = getattr(self, "telemetry_backend", "sign")
+        lengths = {length for _, (_, length) in entries}
+        with telemetry.span("storage_decode_seconds"):
+            if len(lengths) == 1:
+                length = next(iter(lengths))
+                block = np.stack(
+                    [np.asarray(packed).reshape(-1) for _, (packed, _) in entries]
+                )
+                decoded = decode_round(block, length)
+                out = {cid: decoded[i] for i, (cid, _) in enumerate(entries)}
+            else:
+                out = {
+                    cid: decode_gradient(np.asarray(packed).reshape(-1), length)
+                    for cid, (packed, length) in entries
+                }
+        if telemetry.enabled:
+            telemetry.inc(
+                "storage_decoded_elements_total",
+                sum(length for _, (_, length) in entries),
+                backend=backend,
+            )
+            telemetry.inc(
+                "storage_bulk_decode_rounds_total", 1, backend=backend
+            )
+        return out
 
     def has(self, round_index: int, client_id: int) -> bool:
         """Whether a record exists."""
@@ -165,6 +220,7 @@ class FullGradientStore(GradientStore):
     """Float32 full-gradient store — the FedRecover/FedEraser baseline."""
 
     supports_bulk_round = True
+    telemetry_backend = "full"
 
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], np.ndarray] = {}
@@ -390,6 +446,16 @@ class SignGradientStore(GradientStore):
             )
             telemetry.inc("storage_bulk_decode_rounds_total", 1, backend="sign")
         return out
+
+    def encoded_round(
+        self, round_index: int
+    ) -> Optional[Dict[int, Tuple[np.ndarray, int]]]:
+        """Raw ``{client: (packed, length)}`` payloads of one round."""
+        return {
+            cid: rec
+            for (t, cid), rec in self._records.items()
+            if t == round_index
+        }
 
     def has(self, round_index: int, client_id: int) -> bool:
         return (round_index, client_id) in self._records

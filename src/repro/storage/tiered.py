@@ -112,7 +112,14 @@ from repro.storage.store import GradientStore
 from repro.telemetry.core import current_telemetry
 from repro.utils.serialization import fsync_dir, load_state, save_state_atomic
 
-__all__ = ["TieredSignGradientStore", "TIER_HOT", "TIER_WARM", "TIER_COLD"]
+__all__ = [
+    "TieredSignGradientStore",
+    "TIER_HOT",
+    "TIER_WARM",
+    "TIER_COLD",
+    "default_cold_cache_blocks",
+    "set_default_cold_cache_blocks",
+]
 
 TIER_HOT = "hot"
 TIER_WARM = "warm"
@@ -128,7 +135,34 @@ _DEFAULT_SHARD_BYTES = 64 * 1024 * 1024
 _DEFAULT_HOT_BUDGET = 64 * 1024 * 1024
 _CODEC_RAW = "raw"
 _CODEC_ZLIB = "zlib"
-_COLD_CACHE_ENTRIES = 4
+
+# Process-wide default for the cold-block decompression LRU (whole
+# decompressed round blocks kept resident).  Mirrors the sign-backend
+# policy idiom of repro.storage.store; ``python -m repro.eval --store
+# tiered --cold-cache-blocks n`` flips it for a run.
+_DEFAULT_COLD_CACHE_BLOCKS = 4
+_default_cold_cache_blocks = _DEFAULT_COLD_CACHE_BLOCKS
+
+
+def default_cold_cache_blocks() -> int:
+    """Process-wide default size of the cold decompression LRU."""
+    return _default_cold_cache_blocks
+
+
+def set_default_cold_cache_blocks(blocks: int) -> int:
+    """Set the default cold-cache capacity; returns the previous value.
+
+    Consulted by :class:`TieredSignGradientStore` when the constructor
+    is not given an explicit ``cold_cache_blocks``; ``0`` disables
+    caching (every cold read re-inflates its block).
+    """
+    global _default_cold_cache_blocks
+    blocks = int(blocks)
+    if blocks < 0:
+        raise ValueError(f"cold_cache_blocks must be >= 0, got {blocks}")
+    previous = _default_cold_cache_blocks
+    _default_cold_cache_blocks = blocks
+    return previous
 
 #: Spill/compaction commit points at which tests may inject a
 #: SIGKILL-style crash (see ``_maybe_crash``).  "manifest-tmp-written"
@@ -237,9 +271,16 @@ class TieredSignGradientStore(GradientStore):
         writer only blocks when the hot tier reaches twice its budget).
     compress_level:
         zlib level for cold blocks.
+    cold_cache_blocks:
+        Capacity (in whole round blocks) of the cold-tier
+        decompression LRU; ``0`` disables it, ``None`` (default)
+        defers to :func:`default_cold_cache_blocks`.  Hit/miss/evict
+        traffic feeds the ``storage_tier_cold_cache_*`` telemetry and
+        :meth:`stats`.
     """
 
     supports_bulk_round = True
+    telemetry_backend = "tiered"
 
     def __init__(
         self,
@@ -250,6 +291,7 @@ class TieredSignGradientStore(GradientStore):
         shard_bytes: int = _DEFAULT_SHARD_BYTES,
         spill_mode: str = "sync",
         compress_level: int = 6,
+        cold_cache_blocks: Optional[int] = None,
     ) -> None:
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
@@ -263,6 +305,12 @@ class TieredSignGradientStore(GradientStore):
             raise ValueError(
                 f"spill_mode must be 'sync' or 'background', got {spill_mode!r}"
             )
+        if cold_cache_blocks is None:
+            cold_cache_blocks = default_cold_cache_blocks()
+        if cold_cache_blocks < 0:
+            raise ValueError(
+                f"cold_cache_blocks must be >= 0, got {cold_cache_blocks}"
+            )
         self.directory = directory
         self.delta = float(delta)
         self.hot_budget_bytes = int(hot_budget_bytes)
@@ -270,6 +318,7 @@ class TieredSignGradientStore(GradientStore):
         self.shard_bytes = int(shard_bytes)
         self.spill_mode = spill_mode
         self.compress_level = int(compress_level)
+        self.cold_cache_blocks = int(cold_cache_blocks)
 
         self._lock = threading.RLock()
         #: Serializes the two manifest writers (spill and compaction).
@@ -303,6 +352,9 @@ class TieredSignGradientStore(GradientStore):
         self._shadowed: set = set()
         self._dead_disk_bytes = 0
         self._cold_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._cold_cache_hits = 0
+        self._cold_cache_misses = 0
+        self._cold_cache_evictions = 0
         #: Test hook: called with a crash-point name at every commit
         #: point (see ``CRASH_POINTS``); raising simulates a SIGKILL.
         self._crash_hook: Optional[Callable[[str], None]] = None
@@ -506,10 +558,17 @@ class TieredSignGradientStore(GradientStore):
     def _round_block(self, t: int, dr: _DiskRound) -> np.ndarray:
         """The round's *raw* (uncompressed) block as flat uint8."""
         if dr.codec == _CODEC_ZLIB:
+            telemetry = current_telemetry()
             cached = self._cold_cache.get(t)
             if cached is not None:
                 self._cold_cache.move_to_end(t)
+                self._cold_cache_hits += 1
+                if telemetry.enabled:
+                    telemetry.inc("storage_tier_cold_cache_hits_total")
                 return cached
+            self._cold_cache_misses += 1
+            if telemetry.enabled:
+                telemetry.inc("storage_tier_cold_cache_misses_total")
             data = self._shard_data(dr.shard)
             raw = np.frombuffer(
                 zlib.decompress(
@@ -517,9 +576,13 @@ class TieredSignGradientStore(GradientStore):
                 ),
                 dtype=np.uint8,
             )
-            self._cold_cache[t] = raw
-            while len(self._cold_cache) > _COLD_CACHE_ENTRIES:
-                self._cold_cache.popitem(last=False)
+            if self.cold_cache_blocks > 0:
+                self._cold_cache[t] = raw
+                while len(self._cold_cache) > self.cold_cache_blocks:
+                    self._cold_cache.popitem(last=False)
+                    self._cold_cache_evictions += 1
+                    if telemetry.enabled:
+                        telemetry.inc("storage_tier_cold_cache_evictions_total")
             return raw
         data = self._shard_data(dr.shard)
         return data[dr.offset : dr.offset + dr.stored_bytes]
@@ -1199,6 +1262,33 @@ class TieredSignGradientStore(GradientStore):
             telemetry.inc("storage_bulk_decode_rounds_total", 1, backend="tiered")
         return out
 
+    def encoded_round(
+        self, round_index: int
+    ) -> Dict[int, Tuple[np.ndarray, int]]:
+        """Raw ``{client: (packed, length)}`` payloads of one round.
+
+        Disk rows are views of the warm memmap (or the cold block's
+        decompressed buffer, which the view keeps alive past any LRU
+        eviction); hot entries shadow disk rows exactly like
+        :meth:`get`.  The codec hook the base-class ``get_round``
+        fallback batches through one LUT pass.
+        """
+        with self._lock:
+            out: Dict[int, Tuple[np.ndarray, int]] = {}
+            dr = self._disk.get(round_index)
+            if dr is not None and len(dr.clients):
+                block = self._round_block(round_index, dr)
+                for i, cid in enumerate(dr.clients):
+                    length = int(dr.lengths[i])
+                    start = int(dr.starts[i])
+                    out[int(cid)] = (
+                        block[start : start + packed_size_bytes(length)],
+                        length,
+                    )
+            for cid, rec in self._hot.get(round_index, {}).items():
+                out[int(cid)] = rec
+            return out
+
     def has(self, round_index: int, client_id: int) -> bool:
         with self._lock:
             hot_round = self._hot.get(round_index)
@@ -1357,6 +1447,10 @@ class TieredSignGradientStore(GradientStore):
                 "generation": self._generation,
                 "shards": len(self._shard_names),
                 "hot_budget_bytes": self.hot_budget_bytes,
+                "cold_cache_blocks": self.cold_cache_blocks,
+                "cold_cache_hits": self._cold_cache_hits,
+                "cold_cache_misses": self._cold_cache_misses,
+                "cold_cache_evictions": self._cold_cache_evictions,
             }
 
     def _update_gauges(self) -> None:

@@ -219,6 +219,68 @@ _ALL_SPECS = [
         "Live payload bytes currently held in each tier.",
         labels=("tier",),
     ),
+    _spec(
+        "storage_tier_cold_cache_hits_total", COUNTER, "reads",
+        "repro.storage.tiered",
+        "Cold-round reads served from the decompressed-block LRU "
+        "without re-inflating.",
+    ),
+    _spec(
+        "storage_tier_cold_cache_misses_total", COUNTER, "reads",
+        "repro.storage.tiered",
+        "Cold-round reads that had to zlib-inflate their block.",
+    ),
+    _spec(
+        "storage_tier_cold_cache_evictions_total", COUNTER, "blocks",
+        "repro.storage.tiered",
+        "Decompressed cold blocks evicted past the cold_cache_blocks cap.",
+    ),
+    # ---------------------------------------------------------- storage.prefetch
+    _spec(
+        "storage_prefetch_hits_total", COUNTER, "fetches",
+        "repro.storage.prefetch",
+        "Replay round fetches whose background decode was already "
+        "scheduled (completed or in flight).",
+    ),
+    _spec(
+        "storage_prefetch_misses_total", COUNTER, "fetches",
+        "repro.storage.prefetch",
+        "Replay round fetches decoded inline because no background "
+        "decode was scheduled.",
+    ),
+    _spec(
+        "storage_prefetch_stall_seconds", HISTOGRAM, "seconds",
+        "repro.storage.prefetch",
+        "Time the replay loop blocked waiting on an in-flight "
+        "background decode (span).",
+    ),
+    _spec(
+        "storage_prefetch_cancelled_total", COUNTER, "tasks",
+        "repro.storage.prefetch",
+        "Scheduled background decodes abandoned before running "
+        "(deadline abort, skipped rounds, shutdown).",
+    ),
+    _spec(
+        "storage_prefetch_cache_hits_total", COUNTER, "rounds",
+        "repro.storage.prefetch",
+        "Round decodes resolved from the shared decode cache.",
+    ),
+    _spec(
+        "storage_prefetch_cache_misses_total", COUNTER, "rounds",
+        "repro.storage.prefetch",
+        "Round decodes the shared cache had to materialize (or that "
+        "failed and stayed uncached).",
+    ),
+    _spec(
+        "storage_prefetch_cache_evictions_total", COUNTER, "rounds",
+        "repro.storage.prefetch",
+        "Unpinned cached rounds evicted past the byte budget (LRU).",
+    ),
+    _spec(
+        "storage_prefetch_cache_bytes", GAUGE, "bytes",
+        "repro.storage.prefetch",
+        "Decoded payload bytes currently held by the shared decode cache.",
+    ),
     # ----------------------------------------------------------- unlearning.lbfgs
     _spec(
         "lbfgs_hvp_seconds", HISTOGRAM, "seconds", "repro.unlearning.lbfgs",

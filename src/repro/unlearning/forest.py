@@ -57,6 +57,7 @@ import numpy as np
 from repro.fl.aggregation import AGGREGATORS
 from repro.fl.history import TrainingRecord
 from repro.nn.arena import BranchArena
+from repro.storage.prefetch import RoundPrefetcher, default_prefetch_depth
 from repro.telemetry.core import current_telemetry
 from repro.unlearning.backtrack import backtrack
 from repro.unlearning.base import (
@@ -375,198 +376,224 @@ def _run_group(
 
     # -------------------------------------------------------------- replay
     start = min(node.resume for node in active)
-    for t in range(start, num_rounds):
-        live = [n for n in active if n.resume <= t]
-        if not live:
-            continue
-
-        # Per-member cooperative cancellation, same cadence as serial.
-        for node in list(live):
-            for m in list(node.members):
-                check = checks[m]
-                if check is None:
-                    continue
-                try:
-                    check()
-                except BaseException as exc:
-                    outcomes[m] = BranchOutcome(
-                        result=None,
-                        error=exc,
-                        cached_prefix_rounds=resumes[m] - forget_round,
-                    )
-                    node.members.remove(m)
-                    stats.aborted += 1
-            if not node.members:
-                retire(node)
-                live.remove(node)
-            else:
-                refit_union(node)
-        if not live:
-            continue
-
-        # Committed start-of-round state — one snapshot per node, shared
-        # by every member.
-        if forest is not None:
-            for node in live:
-                node.snapshots[t] = _node_snapshot(unlearner, node)
-
-        # Fork at divergence: members whose forget sets intersect this
-        # round's participants differently stop sharing here.
-        participants_t = record.ledger.participants_at(t)
-        p_set = set(participants_t)
-        for node in list(live):
-            parts: Dict[FrozenSet[int], List[int]] = {}
-            for m in node.members:
-                parts.setdefault(forget_of[m] & p_set, []).append(m)
-            if len(parts) == 1:
+    depth = (
+        unlearner.prefetch_depth
+        if unlearner.prefetch_depth is not None
+        else default_prefetch_depth()
+    )
+    prefetcher: Optional[RoundPrefetcher] = None
+    if depth > 0 and getattr(record.gradients, "supports_bulk_round", False):
+        # Pipeline the shared read: one prefetcher serves every branch,
+        # since the fused loop decodes each round exactly once anyway.
+        # No cancel_check — cancellation is per member; an aborted
+        # member leaving its node must not kill the siblings' pipeline.
+        prefetcher = RoundPrefetcher(
+            record.gradients,
+            list(range(start, num_rounds)),
+            depth=depth,
+            cache=unlearner.decode_cache,
+            executor=unlearner.prefetch_executor,
+        )
+    try:
+        for t in range(start, num_rounds):
+            live = [n for n in active if n.resume <= t]
+            if not live:
                 continue
-            stats.forks += len(parts) - 1
-            if telemetry.enabled:
-                telemetry.inc("recovery_forest_forks_total", len(parts) - 1)
-                telemetry.observe("recovery_forest_fork_depth", t - forget_round)
-            flush_snapshots(node)
-            part_list = sorted(parts.values(), key=min)
-            children: List[Tuple[_ExecNode, List[int]]] = [(node, part_list[0])]
-            for member_part in part_list[1:]:
-                clone = _ExecNode()
-                clone.row = arena.acquire(node.recovered)
-                clone.recovered = arena.row(clone.row)
-                clone.estimators = _copy_estimators(unlearner, node.estimators)
-                clone.rounds_replayed = node.rounds_replayed
-                clone.skipped_rounds = node.skipped_rounds
-                clone.missing_entries = node.missing_entries
-                clone.missing_checkpoints = node.missing_checkpoints
-                clone.displacement_norms = list(node.displacement_norms)
-                clone.pairs_cache = dict(node.pairs_cache)
-                clone.resume = node.resume
-                children.append((clone, member_part))
-            for child, member_part in children:
-                child.members = list(member_part)
-                child.union = frozenset().union(
-                    *(forget_of[m] for m in member_part)
-                )
-                child.store_forget = forget_of[member_part[0]]
-                # Clients only the *other* parts forget become remaining
-                # here; by the fork invariant they have not participated
-                # yet, so seeding reproduces their cold state.
-                missing = [
-                    c
-                    for c in remaining_ids(record, child.union)
-                    if c not in child.estimators
-                ]
-                if missing:
-                    child.estimators.update(
-                        unlearner._seed_estimators(record, missing, forget_round)
-                    )
-                if child is not node:
-                    active.append(child)
-                    live.append(child)
-        # Post-fork width: children forked this round replay it too.
-        stats.peak_branches = max(stats.peak_branches, len(live))
 
-        # One shared read of the round: historical params + bulk decode.
-        try:
-            historical = record.params_at(t)
-        except Exception:
-            for node in live:
-                node_skip(node, t, missing_checkpoint=True)
-            continue
-        round_updates: Optional[Dict[int, np.ndarray]] = None
-        if getattr(record.gradients, "supports_bulk_round", False):
-            try:
-                round_updates = record.gradients.get_round(t)
-            except Exception:
-                round_updates = None
-        entry_memo: Dict[int, Optional[np.ndarray]] = {}
-
-        ready: List[Tuple[_ExecNode, List[Tuple[int, np.ndarray]]]] = []
-        for node in live:
-            participants = [c for c in participants_t if c not in node.union]
-            if not participants:
-                node_skip(node, t)
-                continue
-            present: List[Tuple[int, np.ndarray]] = []
-            round_missing = 0
-            if round_updates is not None:
-                for cid in participants:
-                    stored = round_updates.get(cid)
-                    if stored is None:
-                        node.missing_entries += 1
-                        round_missing += 1
-                    else:
-                        present.append((cid, stored))
-            else:
-                for cid in participants:
-                    if cid in entry_memo:
-                        stored = entry_memo[cid]
-                    else:
-                        try:
-                            stored = record.gradients.get(t, cid)
-                        except Exception:
-                            stored = None
-                        entry_memo[cid] = stored
-                    if stored is None:
-                        node.missing_entries += 1
-                        round_missing += 1
-                    else:
-                        present.append((cid, stored))
-            if telemetry.enabled and round_missing:
-                telemetry.inc("recovery_missing_entries_total", round_missing)
-            if not present:
-                node_skip(node, t)
-                continue
-            ready.append((node, present))
-        if not ready:
-            continue
-
-        # Stacked Eq. 6 displacement: one broadcast subtract over every
-        # sibling row (element-wise ⇒ bitwise-identical per row).
-        rows = [node.row for node, _ in ready]
-        disp_block = arena.rows(rows) - historical
-        refresh_now = (t - forget_round + 1) % unlearner.refresh_period == 0
-        step_rows: List[int] = []
-        step_grads: List[np.ndarray] = []
-        for k, (node, present) in enumerate(ready):
-            disp_vec = disp_block[k]
-            with telemetry.span("recovery_round_seconds"):
-                estimates: List[np.ndarray] = []
-                weights: List[float] = []
-                # Reductions keep the serial call shapes — see the
-                # module docstring for why this is load-bearing.
-                for cid, stored in present:
-                    estimate = node.estimators[cid].estimate_displaced(
-                        stored, disp_vec
-                    )
-                    estimates.append(estimate)
-                    weights.append(record.weight_of(cid))
-                    if refresh_now:
-                        node.estimators[cid].seed_pair(
-                            disp_vec, estimate - stored
+            # Per-member cooperative cancellation, same cadence as serial.
+            for node in list(live):
+                for m in list(node.members):
+                    check = checks[m]
+                    if check is None:
+                        continue
+                    try:
+                        check()
+                    except BaseException as exc:
+                        outcomes[m] = BranchOutcome(
+                            result=None,
+                            error=exc,
+                            cached_prefix_rounds=resumes[m] - forget_round,
                         )
-                if refresh_now:
-                    for cid, _ in present:
-                        node.pairs_cache.pop(cid, None)
-                displacement = float(np.linalg.norm(disp_vec))
-                node.displacement_norms.append(displacement)
-                step_rows.append(node.row)
-                step_grads.append(aggregate(estimates, weights))
-                node.rounds_replayed += 1
-            if telemetry.enabled:
-                telemetry.inc("recovery_rounds_total")
-                telemetry.set_gauge("recovery_displacement_norm", displacement)
-                telemetry.set_gauge(
-                    "recovery_progress", (t - forget_round + 1) / replay_window
-                )
-        # Fused Eq. 2: one stacked multiply-subtract for every stepping
-        # branch (bitwise-identical per row to SGD.step_).
-        arena.step_rows(step_rows, np.stack(step_grads), record.learning_rate)
-        stats.executed_node_rounds += len(ready)
-        for node, _ in ready:
-            shared = len(node.members) - 1
-            if shared:
-                stats.shared_rounds += shared
+                        node.members.remove(m)
+                        stats.aborted += 1
+                if not node.members:
+                    retire(node)
+                    live.remove(node)
+                else:
+                    refit_union(node)
+            if not live:
+                continue
+
+            # Committed start-of-round state — one snapshot per node, shared
+            # by every member.
+            if forest is not None:
+                for node in live:
+                    node.snapshots[t] = _node_snapshot(unlearner, node)
+
+            # Fork at divergence: members whose forget sets intersect this
+            # round's participants differently stop sharing here.
+            participants_t = record.ledger.participants_at(t)
+            p_set = set(participants_t)
+            for node in list(live):
+                parts: Dict[FrozenSet[int], List[int]] = {}
+                for m in node.members:
+                    parts.setdefault(forget_of[m] & p_set, []).append(m)
+                if len(parts) == 1:
+                    continue
+                stats.forks += len(parts) - 1
                 if telemetry.enabled:
-                    telemetry.inc("recovery_forest_shared_rounds_total", shared)
+                    telemetry.inc("recovery_forest_forks_total", len(parts) - 1)
+                    telemetry.observe("recovery_forest_fork_depth", t - forget_round)
+                flush_snapshots(node)
+                part_list = sorted(parts.values(), key=min)
+                children: List[Tuple[_ExecNode, List[int]]] = [(node, part_list[0])]
+                for member_part in part_list[1:]:
+                    clone = _ExecNode()
+                    clone.row = arena.acquire(node.recovered)
+                    clone.recovered = arena.row(clone.row)
+                    clone.estimators = _copy_estimators(unlearner, node.estimators)
+                    clone.rounds_replayed = node.rounds_replayed
+                    clone.skipped_rounds = node.skipped_rounds
+                    clone.missing_entries = node.missing_entries
+                    clone.missing_checkpoints = node.missing_checkpoints
+                    clone.displacement_norms = list(node.displacement_norms)
+                    clone.pairs_cache = dict(node.pairs_cache)
+                    clone.resume = node.resume
+                    children.append((clone, member_part))
+                for child, member_part in children:
+                    child.members = list(member_part)
+                    child.union = frozenset().union(
+                        *(forget_of[m] for m in member_part)
+                    )
+                    child.store_forget = forget_of[member_part[0]]
+                    # Clients only the *other* parts forget become remaining
+                    # here; by the fork invariant they have not participated
+                    # yet, so seeding reproduces their cold state.
+                    missing = [
+                        c
+                        for c in remaining_ids(record, child.union)
+                        if c not in child.estimators
+                    ]
+                    if missing:
+                        child.estimators.update(
+                            unlearner._seed_estimators(record, missing, forget_round)
+                        )
+                    if child is not node:
+                        active.append(child)
+                        live.append(child)
+            # Post-fork width: children forked this round replay it too.
+            stats.peak_branches = max(stats.peak_branches, len(live))
+
+            # One shared read of the round: historical params + bulk decode.
+            try:
+                historical = record.params_at(t)
+            except Exception:
+                for node in live:
+                    node_skip(node, t, missing_checkpoint=True)
+                continue
+            round_updates: Optional[Dict[int, np.ndarray]] = None
+            if prefetcher is not None:
+                round_updates = prefetcher.fetch(t)
+            elif getattr(record.gradients, "supports_bulk_round", False):
+                try:
+                    round_updates = record.gradients.get_round(t)
+                except Exception:
+                    round_updates = None
+            entry_memo: Dict[int, Optional[np.ndarray]] = {}
+
+            ready: List[Tuple[_ExecNode, List[Tuple[int, np.ndarray]]]] = []
+            for node in live:
+                participants = [c for c in participants_t if c not in node.union]
+                if not participants:
+                    node_skip(node, t)
+                    continue
+                present: List[Tuple[int, np.ndarray]] = []
+                round_missing = 0
+                if round_updates is not None:
+                    for cid in participants:
+                        stored = round_updates.get(cid)
+                        if stored is None:
+                            node.missing_entries += 1
+                            round_missing += 1
+                        else:
+                            present.append((cid, stored))
+                else:
+                    for cid in participants:
+                        if cid in entry_memo:
+                            stored = entry_memo[cid]
+                        else:
+                            try:
+                                stored = record.gradients.get(t, cid)
+                            except Exception:
+                                stored = None
+                            entry_memo[cid] = stored
+                        if stored is None:
+                            node.missing_entries += 1
+                            round_missing += 1
+                        else:
+                            present.append((cid, stored))
+                if telemetry.enabled and round_missing:
+                    telemetry.inc("recovery_missing_entries_total", round_missing)
+                if not present:
+                    node_skip(node, t)
+                    continue
+                ready.append((node, present))
+            if not ready:
+                continue
+
+            # Stacked Eq. 6 displacement: one broadcast subtract over every
+            # sibling row (element-wise ⇒ bitwise-identical per row).
+            rows = [node.row for node, _ in ready]
+            disp_block = arena.rows(rows) - historical
+            refresh_now = (t - forget_round + 1) % unlearner.refresh_period == 0
+            step_rows: List[int] = []
+            step_grads: List[np.ndarray] = []
+            for k, (node, present) in enumerate(ready):
+                disp_vec = disp_block[k]
+                with telemetry.span("recovery_round_seconds"):
+                    estimates: List[np.ndarray] = []
+                    weights: List[float] = []
+                    # Reductions keep the serial call shapes — see the
+                    # module docstring for why this is load-bearing.
+                    for cid, stored in present:
+                        estimate = node.estimators[cid].estimate_displaced(
+                            stored, disp_vec
+                        )
+                        estimates.append(estimate)
+                        weights.append(record.weight_of(cid))
+                        if refresh_now:
+                            node.estimators[cid].seed_pair(
+                                disp_vec, estimate - stored
+                            )
+                    if refresh_now:
+                        for cid, _ in present:
+                            node.pairs_cache.pop(cid, None)
+                    displacement = float(np.linalg.norm(disp_vec))
+                    node.displacement_norms.append(displacement)
+                    step_rows.append(node.row)
+                    step_grads.append(aggregate(estimates, weights))
+                    node.rounds_replayed += 1
+                if telemetry.enabled:
+                    telemetry.inc("recovery_rounds_total")
+                    telemetry.set_gauge("recovery_displacement_norm", displacement)
+                    telemetry.set_gauge(
+                        "recovery_progress", (t - forget_round + 1) / replay_window
+                    )
+            # Fused Eq. 2: one stacked multiply-subtract for every stepping
+            # branch (bitwise-identical per row to SGD.step_).
+            arena.step_rows(step_rows, np.stack(step_grads), record.learning_rate)
+            stats.executed_node_rounds += len(ready)
+            for node, _ in ready:
+                shared = len(node.members) - 1
+                if shared:
+                    stats.shared_rounds += shared
+                    if telemetry.enabled:
+                        telemetry.inc("recovery_forest_shared_rounds_total", shared)
+    finally:
+        if prefetcher is not None:
+            # Releases every cache pin and cancels in-flight
+            # decodes even if a substrate fault escapes the loop.
+            prefetcher.close()
 
     # ------------------------------------------------------------ finalize
     for node in list(active):

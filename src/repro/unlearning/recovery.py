@@ -101,6 +101,11 @@ from repro.nn.optim import SGD
 from repro.parallel.estimates import run_estimate, tasks_from_round
 from repro.parallel.executor import Executor, make_executor, pool_utilization
 from repro.parallel.policy import resolve_execution
+from repro.storage.prefetch import (
+    RoundDecodeCache,
+    RoundPrefetcher,
+    default_prefetch_depth,
+)
 from repro.unlearning.backtrack import backtrack
 from repro.unlearning.base import (
     ModelFactory,
@@ -458,6 +463,21 @@ class SignRecoveryUnlearner(UnlearningMethod):
         and the next request over the same forget set resumes them —
         recovering parameters byte-identical to an uninterrupted cold
         replay.
+    prefetch_depth:
+        Look-ahead window of the replay data-path pipeline
+        (:mod:`repro.storage.prefetch`): while round ``t`` computes,
+        rounds ``t+1 .. t+depth`` bulk-decode on a background thread.
+        ``0`` is the synchronous path (no pipeline); ``None`` (default)
+        defers to :func:`repro.storage.prefetch.default_prefetch_depth`,
+        which ``python -m repro.eval --prefetch-depth`` sets.  Recovered
+        parameters are bitwise identical at every depth.
+    decode_cache:
+        Optional shared :class:`~repro.storage.prefetch.RoundDecodeCache`
+        so concurrent/successive requests over the same record resolve
+        each round's decode once (the service wires its own in).
+    prefetch_executor:
+        Optional externally-owned executor for the background decodes;
+        a private thread engine is built per replay when omitted.
     """
 
     name = "ours"
@@ -474,11 +494,16 @@ class SignRecoveryUnlearner(UnlearningMethod):
         workers: Optional[int] = None,
         prefix_cache: Optional[ReplayPrefixCache] = None,
         cancel_check: Optional[Callable[[], None]] = None,
+        prefetch_depth: Optional[int] = None,
+        decode_cache: Optional[RoundDecodeCache] = None,
+        prefetch_executor: Optional[Executor] = None,
     ):
         if refresh_period < 1:
             raise ValueError("refresh_period must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if prefetch_depth is not None and prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
         self.clip_threshold = clip_threshold
         self.buffer_size = buffer_size
         self.refresh_period = refresh_period
@@ -488,6 +513,9 @@ class SignRecoveryUnlearner(UnlearningMethod):
         self.execution = resolve_execution(backend, workers)
         self.prefix_cache = prefix_cache
         self.cancel_check = cancel_check
+        self.prefetch_depth = prefetch_depth
+        self.decode_cache = decode_cache
+        self.prefetch_executor = prefetch_executor
         #: Replay rounds the last :meth:`unlearn` call skipped thanks to
         #: a prefix-cache hit (0 on a cold run).
         self.last_cached_prefix_rounds = 0
@@ -909,6 +937,7 @@ class SignRecoveryUnlearner(UnlearningMethod):
             )
 
         executor: Optional[Executor] = None
+        prefetcher: Optional[RoundPrefetcher] = None
         try:
             if self.execution.backend != "serial":
                 # Estimation tasks are self-contained (compact L-BFGS
@@ -920,6 +949,36 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 if telemetry.enabled:
                     telemetry.set_gauge(
                         "recovery_parallel_workers", self.execution.workers
+                    )
+            depth = (
+                self.prefetch_depth
+                if self.prefetch_depth is not None
+                else default_prefetch_depth()
+            )
+            if depth > 0 and getattr(
+                record.gradients, "supports_bulk_round", False
+            ):
+                # Pipeline the data path: bulk-decode rounds t+1..t+depth
+                # on a background thread while round t computes.  The
+                # sequence is exactly the rounds the loop will read
+                # gradients for (rounds with no surviving participant are
+                # skipped before any storage read).
+                replay_reads = [
+                    t
+                    for t in range(start_round, record.num_rounds)
+                    if any(
+                        cid not in forget_set
+                        for cid in record.ledger.participants_at(t)
+                    )
+                ]
+                if replay_reads:
+                    prefetcher = RoundPrefetcher(
+                        record.gradients,
+                        replay_reads,
+                        depth=depth,
+                        cache=self.decode_cache,
+                        cancel_check=self.cancel_check,
+                        executor=self.prefetch_executor,
                     )
             for t in range(start_round, record.num_rounds):
                 if self.cancel_check is not None:
@@ -951,7 +1010,13 @@ class SignRecoveryUnlearner(UnlearningMethod):
                     present: List[Tuple[int, np.ndarray]] = []
                     round_missing = 0
                     round_updates: Optional[Dict[int, np.ndarray]] = None
-                    if getattr(record.gradients, "supports_bulk_round", False):
+                    if prefetcher is not None:
+                        # Pipelined read: usually already decoded in the
+                        # background; a miss decodes inline (bitwise the
+                        # same either way), a failure falls through to
+                        # the per-client path below.
+                        round_updates = prefetcher.fetch(t)
+                    elif getattr(record.gradients, "supports_bulk_round", False):
                         try:
                             round_updates = record.gradients.get_round(t)
                         except Exception:
@@ -1058,6 +1123,11 @@ class SignRecoveryUnlearner(UnlearningMethod):
                 )
             raise
         finally:
+            if prefetcher is not None:
+                # Cancels in-flight decodes and releases every cache pin
+                # even on abort paths — no leaked futures or pinned
+                # entries survive a deadline.
+                prefetcher.close()
             if executor is not None:
                 executor.close()
 

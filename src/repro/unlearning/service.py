@@ -44,6 +44,8 @@ from repro.defenses import DetectionReport, detect_malicious_clients
 from repro.fl.history import TrainingRecord
 from repro.fl.persistence import load_record, save_record
 from repro.nn.model import Sequential
+from repro.parallel.executor import Executor, make_executor
+from repro.storage.prefetch import RoundDecodeCache, default_prefetch_depth
 from repro.telemetry.core import current_telemetry
 from repro.unlearning.base import UnlearnResult, resolve_forget_round
 from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
@@ -130,6 +132,17 @@ class UnlearningService:
         Recovery hyperparameters (Eq. 7 ``L``, ``s``, refresh).
     cache_max_entries:
         LRU capacity of the service's replay prefix cache.
+    prefetch_depth:
+        Replay data-path look-ahead (:mod:`repro.storage.prefetch`)
+        applied to every replay this service runs.  ``None`` (default)
+        defers to :func:`repro.storage.prefetch.default_prefetch_depth`;
+        ``0`` forces the synchronous path.  Recovered parameters are
+        byte-identical at every depth.
+    decode_cache_bytes:
+        Byte budget of the service's shared per-round decode cache, so
+        successive/concurrent requests over the same record resolve
+        each round's decode once.  Only allocated once a prefetching
+        replay actually runs.
     """
 
     record: TrainingRecord
@@ -138,8 +151,16 @@ class UnlearningService:
     buffer_size: int = 2
     refresh_period: int = 21
     cache_max_entries: int = 8
+    prefetch_depth: Optional[int] = None
+    decode_cache_bytes: int = 64 * 1024 * 1024
     _erased: List[int] = field(default_factory=list)
     _prefix_cache: Optional[ReplayPrefixCache] = field(default=None, repr=False)
+    _decode_cache: Optional[RoundDecodeCache] = field(
+        default=None, repr=False, compare=False
+    )
+    _prefetch_executor: Optional[Executor] = field(
+        default=None, repr=False, compare=False
+    )
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
@@ -171,15 +192,70 @@ class UnlearningService:
         """The replay prefix cache shared by this service's requests."""
         return self._prefix_cache
 
+    @property
+    def decode_cache(self) -> Optional[RoundDecodeCache]:
+        """The shared round decode cache (``None`` until a prefetching
+        replay has run — it is allocated lazily)."""
+        return self._decode_cache
+
+    def _effective_prefetch_depth(self) -> int:
+        if self.prefetch_depth is not None:
+            return self.prefetch_depth
+        return default_prefetch_depth()
+
+    def _prefetch_config(self):
+        """Resolve (depth, cache, executor) for one replay, lazily
+        building the shared cache and decode thread pool on first use."""
+        depth = self._effective_prefetch_depth()
+        if depth <= 0:
+            return 0, None, None
+        if self._decode_cache is None:
+            self._decode_cache = RoundDecodeCache(
+                max_bytes=self.decode_cache_bytes
+            )
+        if self._prefetch_executor is None:
+            # Readahead-queue sizing: several in-flight rounds may block
+            # on storage concurrently (cold blocks, remote tiers).
+            self._prefetch_executor = make_executor("thread", min(depth, 4))
+        return depth, self._decode_cache, self._prefetch_executor
+
+    def drain_prefetch(self, blocking: bool = True) -> bool:
+        """Tear down the shared prefetch resources (decode thread pool
+        and round cache).  Safe to call with no replay in flight — the
+        daemon calls this from :meth:`~repro.serving.daemon.ErasureDaemon.stop`
+        after its workers have drained.  The next replay lazily rebuilds
+        both, so the service stays usable afterwards.
+
+        With ``blocking=False`` the drain is skipped (returning
+        ``False``) when a replay currently holds the service lock — a
+        timed-out daemon ``stop`` must not hang behind an in-flight
+        request."""
+        if not self._lock.acquire(blocking=blocking):
+            return False
+        try:
+            if self._prefetch_executor is not None:
+                self._prefetch_executor.close()
+                self._prefetch_executor = None
+            if self._decode_cache is not None:
+                self._decode_cache.clear()
+                self._decode_cache = None
+            return True
+        finally:
+            self._lock.release()
+
     def _unlearner(
         self, cancel_check: Optional[Callable[[], None]] = None
     ) -> SignRecoveryUnlearner:
+        depth, cache, executor = self._prefetch_config()
         return SignRecoveryUnlearner(
             clip_threshold=self.clip_threshold,
             buffer_size=self.buffer_size,
             refresh_period=self.refresh_period,
             prefix_cache=self._prefix_cache,
             cancel_check=cancel_check,
+            prefetch_depth=depth,
+            decode_cache=cache,
+            prefetch_executor=executor,
         )
 
     def _erase(
@@ -203,6 +279,13 @@ class UnlearningService:
             # erased, and the partial replay lives on in the prefix cache.
             result = unlearner.unlearn(self.record, forget, self.model)
             purged = sum(self.record.gradients.drop_client(cid) for cid in client_ids)
+            if self._decode_cache is not None:
+                # Keep the shared decode cache coherent with the purge.
+                # (Belt and braces: erased clients stay in every later
+                # forget set, so a stale entry could never be consumed
+                # on this path anyway.)
+                for cid in client_ids:
+                    self._decode_cache.discard_client(self.record.gradients, cid)
             self._erased.extend(client_ids)
             self.record.metadata["erased_clients"] = sorted(self._erased)
         telemetry = current_telemetry()
@@ -429,6 +512,10 @@ class UnlearningService:
                     first_failure = j
                     continue
                 purged = self.record.gradients.drop_client(ids[k])
+                if self._decode_cache is not None:
+                    self._decode_cache.discard_client(
+                        self.record.gradients, ids[k]
+                    )
                 self._erased.append(ids[k])
                 self.record.metadata["erased_clients"] = sorted(self._erased)
                 if telemetry.enabled:
@@ -516,6 +603,7 @@ class UnlearningService:
         clip_threshold: float = 1.0,
         buffer_size: int = 2,
         refresh_period: int = 21,
+        prefetch_depth: Optional[int] = None,
     ) -> "UnlearningService":
         """Resume a service from a persisted record."""
         record = load_record(directory)
@@ -525,6 +613,7 @@ class UnlearningService:
             clip_threshold=clip_threshold,
             buffer_size=buffer_size,
             refresh_period=refresh_period,
+            prefetch_depth=prefetch_depth,
         )
         service._erased = [int(c) for c in record.metadata.get("erased_clients", [])]
         return service

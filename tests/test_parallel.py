@@ -200,6 +200,31 @@ class TestExecutor:
         ex = Executor(workers=1)
         with pytest.raises(NotImplementedError):
             ex.run(_square, [1])
+        with pytest.raises(NotImplementedError):
+            ex.submit(_square, 1)
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_submit_returns_future_with_result(self, backend, workers):
+        with make_executor(backend, workers) as ex:
+            future = ex.submit(_square, 6)
+            assert future.result(timeout=30) == 36
+
+    def test_serial_submit_resolves_inline(self):
+        with make_executor("serial", 1) as ex:
+            future = ex.submit(_square, 3)
+            # the serial engine runs the call before returning
+            assert future.done()
+            assert future.result() == 9
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 2)])
+    def test_submit_propagates_exceptions(self, backend, workers):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with make_executor(backend, workers) as ex:
+            future = ex.submit(boom)
+            with pytest.raises(RuntimeError, match="task failed"):
+                future.result(timeout=30)
 
     def test_pool_utilization_math(self):
         assert pool_utilization(2.0, 4, 1.0) == 0.5

@@ -16,6 +16,7 @@ from repro.storage import (
     SignGradientStore,
     TieredSignGradientStore,
 )
+from repro.storage.store import GradientStore
 
 DELTA = 1e-6
 DIM = 57
@@ -125,6 +126,40 @@ class TestReadSurface:
         if getattr(store, "supports_bulk_round", False):
             t = backend["reference"].rounds()[0]
             assert sorted(store.get_round(t)) == backend["reference"].clients_at(t)
+
+
+class TestBulkFallbackParity:
+    """The base-class ``get_round`` (one batched ``decode_round`` pass
+    over ``encoded_round``) must be bitwise identical to each backend's
+    native bulk read *and* to the per-client ``get`` loop — the three
+    paths a replay can take depending on flags and fault fallbacks."""
+
+    def test_base_batched_decode_matches_native_bulk(self, backend):
+        store = backend["store"]
+        for t in store.rounds():
+            base = GradientStore.get_round(store, t)
+            native = store.get_round(t)
+            assert sorted(base) == sorted(native)
+            for cid in native:
+                assert base[cid].tobytes() == native[cid].tobytes()
+
+    def test_bulk_matches_per_client_gets(self, backend):
+        store = backend["store"]
+        for t in store.rounds():
+            bulk = store.get_round(t)
+            for cid in store.clients_at(t):
+                assert bulk[cid].tobytes() == store.get(t, cid).tobytes()
+
+    def test_base_fallback_survives_drop(self, backend):
+        backend["reference"].drop_client(2)
+        backend["store"].drop_client(2)
+        store = backend["store"]
+        for t in store.rounds():
+            base = GradientStore.get_round(store, t)
+            expected = backend["reference"].get_round(t)
+            assert sorted(base) == sorted(expected)
+            for cid in expected:
+                assert base[cid].tobytes() == expected[cid].tobytes()
 
 
 class TestNbytes:

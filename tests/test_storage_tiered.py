@@ -466,3 +466,77 @@ class TestCapacitySmoke:
             reference.put(t, cid, g)
             np.testing.assert_array_equal(store.get(t, cid), reference.get(t, cid))
         assert store.nbytes() == store.recount_nbytes()
+
+
+class TestColdCache:
+    """The cold-block decompression LRU: real counters, a real knob."""
+
+    def _cold_store(self, tmp_path, rng, name, **kwargs):
+        store = TieredSignGradientStore(
+            str(tmp_path / name), delta=DELTA, hot_budget_bytes=64, **kwargs
+        )
+        reference = _fill(store, rng)
+        store.flush()
+        store.compact(cold_after=1)
+        assert store.tier_rounds()[TIER_COLD] > 0
+        return reference, store
+
+    def test_counters_track_hits_misses(self, rng, tmp_path):
+        reference, store = self._cold_store(tmp_path, rng, "cc")
+        cold = [t for t in store.rounds() if t < store.rounds()[-1]]
+        store.get_round(cold[0])   # miss: first inflate of the block
+        store.get_round(cold[0])   # hit: cached block
+        stats = store.stats()
+        assert stats["cold_cache_misses"] >= 1
+        assert stats["cold_cache_hits"] >= 1
+        _assert_same_view(reference, store)
+
+    def test_zero_blocks_disables_caching(self, rng, tmp_path):
+        reference, store = self._cold_store(
+            tmp_path, rng, "cc0", cold_cache_blocks=0
+        )
+        cold = [t for t in store.rounds() if t < store.rounds()[-1]]
+        store.get_round(cold[0])
+        store.get_round(cold[0])
+        stats = store.stats()
+        assert stats["cold_cache_blocks"] == 0
+        assert stats["cold_cache_hits"] == 0
+        assert stats["cold_cache_misses"] >= 2
+        _assert_same_view(reference, store)
+
+    def test_single_block_cache_evicts(self, rng, tmp_path):
+        reference, store = self._cold_store(
+            tmp_path, rng, "cc1", cold_cache_blocks=1
+        )
+        cold = [t for t in store.rounds() if t < store.rounds()[-1]]
+        assert len(cold) >= 2
+        store.get_round(cold[0])
+        store.get_round(cold[1])  # evicts cold[0]'s block
+        store.get_round(cold[0])  # miss again
+        stats = store.stats()
+        assert stats["cold_cache_evictions"] >= 1
+        _assert_same_view(reference, store)
+
+    def test_default_policy_reaches_constructor(self, rng, tmp_path):
+        from repro.storage import (
+            default_cold_cache_blocks,
+            set_default_cold_cache_blocks,
+        )
+
+        previous = set_default_cold_cache_blocks(0)
+        try:
+            store = TieredSignGradientStore(
+                str(tmp_path / "ccp"), delta=DELTA, hot_budget_bytes=64
+            )
+            assert store.cold_cache_blocks == 0
+        finally:
+            set_default_cold_cache_blocks(previous)
+        assert default_cold_cache_blocks() == previous
+        explicit = TieredSignGradientStore(
+            str(tmp_path / "cce"), delta=DELTA, cold_cache_blocks=9
+        )
+        assert explicit.cold_cache_blocks == 9
+        with pytest.raises(ValueError):
+            TieredSignGradientStore(
+                str(tmp_path / "ccn"), delta=DELTA, cold_cache_blocks=-1
+            )
