@@ -1,6 +1,6 @@
 # Convenience targets for the FUIoV reproduction.
 
-.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo bench-storage-scale bench-prefetch bench-report examples experiments telemetry-demo docs-lint clean
+.PHONY: install test chaos bench bench-smoke bench-core bench-parallel bench-service bench-forest bench-slo bench-storage-scale bench-prefetch bench-live bench-report examples experiments telemetry-demo docs-lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -63,6 +63,13 @@ bench-storage-scale:
 # at daemon concurrency 4 into benchmarks/results/prefetch.json.
 bench-prefetch:
 	pytest benchmarks/test_bench_prefetch.py --benchmark-only
+
+# Live-traffic path: train + erase concurrently vs stop-the-world —
+# >=2x aggregate throughput, <=25% training slowdown while erasures
+# are in flight, and byte identity of the first replay-merge commit
+# vs the sequential reference, into benchmarks/results/live.json.
+bench-live:
+	pytest benchmarks/test_bench_live.py --benchmark-only
 
 # Aggregate benchmarks/results/*.json into results/summary.json
 # (benchmark name, headline metric, speedup where present).

@@ -28,6 +28,7 @@ from repro.unlearning import (
     FedEraserUnlearner,
     FedRecoverUnlearner,
     FedRecoveryUnlearner,
+    NegatedPseudoGradientUnlearner,
     RetrainUnlearner,
     SignRecoveryUnlearner,
     backtrack,
@@ -152,6 +153,14 @@ def run_table1(
                 rng=SeedSequenceTree(seed).rng("fedrecovery-noise"),
             ).unlearn(record, workload.forget_ids, workload.model)
         results["fedrecovery"] = _accuracy(workload, r.params)
+
+        with timer.section(f"npg-{dataset}"):
+            # Streaming negated-pseudo-gradient baseline — runs on the
+            # same 2-bit store as ours (the live serving fast path).
+            r = NegatedPseudoGradientUnlearner().unlearn(
+                sign_record, workload.forget_ids, workload.model
+            )
+        results["npg"] = _accuracy(workload, r.params)
 
         with timer.section(f"ours-{dataset}"):
             r = _ours(config).unlearn(sign_record, workload.forget_ids, workload.model)
@@ -944,9 +953,18 @@ def run_serve(
     Records per-phase p50/p95/p99 latency, req/s, and shed rate (the
     ``results/slo.json`` schema ``make bench-slo`` asserts against),
     plus the daemon's final status and breaker transitions.
+
+    A fourth ``mixed`` phase then exercises the live-traffic path: a
+    fresh (small) simulation trains *while* the daemon serves erasures
+    against it through a :class:`~repro.fl.live.LiveTrainingSession` —
+    one seeded :func:`~repro.serving.loadgen.mixed_schedule` interleaves
+    train-round arrivals (dispatched as round permits) with erasure
+    arrivals, and the summary reports snapshot/merge accounting.
     """
-    from repro.fl import VehicleClient
+    from repro.fl import FederatedSimulation, LiveTrainingSession, VehicleClient
     from repro.serving import ErasureDaemon, LoadGenerator, mass_gdpr_schedule, steady_schedule
+    from repro.serving.loadgen import mixed_schedule
+    from repro.storage import SignGradientStore
     from repro.unlearning import UnlearningService
 
     config = config_for("mnist", scale, seed=seed)
@@ -1025,6 +1043,75 @@ def run_serve(
         daemon.stop(mode="drain")
     status = daemon.status()
     status["breaker_state"] = str(status["breaker_state"])
+
+    # ------------------------------------------------------------------
+    # Phase 4: mixed live traffic — train and erase concurrently.
+    # ------------------------------------------------------------------
+    live_config = config_for("mnist", scale, seed=seed + 3)
+    live_workload = build_workload(live_config)
+    live_sim = FederatedSimulation(
+        model=live_workload.model,
+        clients=live_workload.clients,
+        learning_rate=live_config.learning_rate,
+        schedule=live_workload.schedule,
+        gradient_store=SignGradientStore(),
+        aggregator=live_config.aggregator,
+    )
+    session = LiveTrainingSession(live_sim, live_config.num_rounds, paced=True)
+    live_service = UnlearningService(
+        record=live_sim.record_view(0),
+        model=live_workload.model,
+        clip_threshold=live_config.clip_threshold,
+        buffer_size=live_config.buffer_size,
+        refresh_period=live_config.refresh_period,
+    ).bind_live(session)
+    live_daemon = ErasureDaemon(
+        live_service,
+        capacity=capacity,
+        workers=workers,
+        default_deadline_seconds=deadline_seconds,
+    ).start()
+    live_generator = LoadGenerator(
+        live_daemon,
+        train_sink=lambda arrival: session.allow_rounds(1),
+    )
+    session.start()
+    # Seed some committed history so the first erasures find their
+    # vehicles in the ledger.
+    session.allow_rounds(2)
+    session.wait_for_round(1, timeout=60.0)
+    live_population = list(
+        range(live_config.num_clients // 2, live_config.num_clients - 1)
+    )
+    try:
+        phases.append(
+            live_generator.run(
+                mixed_schedule(
+                    rate, duration_seconds, live_population,
+                    seed=seed + 3, key_prefix="mixed",
+                ),
+                label="mixed",
+            ).as_dict()
+        )
+    finally:
+        session.release_pacing()
+        live_daemon.stop(mode="drain")
+        session.stop(timeout=120.0)
+    live_record = session.result(timeout=120.0)
+    merge_commits = live_record.metadata.get("merge_commits", [])
+    live_summary = {
+        "train_arrivals": live_generator.train_dispatched,
+        "rounds_trained": session.rounds_trained,
+        "merge_commits": len(merge_commits),
+        "tail_rounds": [
+            int(c["commit_round"] - c["watermark"]) for c in merge_commits
+        ],
+        "commit_conflicts": sum(int(c["conflicts"]) for c in merge_commits),
+        "snapshot_pins": session.registry.pins_total,
+        "deferred_drops": session.registry.deferred_total,
+        "erased_clients": [float(c) for c in live_service.erased_clients],
+    }
+
     return {
         "experiment": "serve",
         "scale": config.scale,
@@ -1038,6 +1125,7 @@ def run_serve(
         "daemon": status,
         "breaker_transitions": list(daemon.breaker.transitions),
         "erased_clients": [float(c) for c in service.erased_clients],
+        "live": live_summary,
     }
 
 

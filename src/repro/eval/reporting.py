@@ -40,14 +40,19 @@ def _fmt(x: Any) -> str:
 
 
 def _format_table1(result: Dict[str, Any]) -> str:
-    methods = ["retrain", "fedrecover", "fedrecovery", "ours"]
+    methods = ["retrain", "fedrecover", "fedrecovery", "npg", "ours"]
     headers = ["dataset"] + [f"{m} (paper)" for m in methods] + ["trained"]
     rows = []
     for dataset, measured in result["measured"].items():
         paper = result["paper"][dataset]
         row = [dataset]
         for m in methods:
-            row.append(f"{measured[m]:.3f} ({paper[m]:.3f})")
+            if m not in measured:
+                row.append("—")
+            elif m in paper:
+                row.append(f"{measured[m]:.3f} ({paper[m]:.3f})")
+            else:  # baselines the paper does not report (e.g. npg)
+                row.append(f"{measured[m]:.3f} (—)")
         row.append(f"{measured['trained']:.3f}")
         rows.append(row)
     return format_table(headers, rows, "Table I — post-unlearning accuracy, measured (paper)")

@@ -7,6 +7,7 @@ from repro.fl.client import VehicleClient
 from repro.fl.events import ParticipationSchedule
 from repro.fl.history import TrainingRecord, with_sign_store
 from repro.fl.journal import JournalSnapshot, RoundJournal
+from repro.fl.live import LiveTrainingSession, RecordSnapshot
 from repro.fl.membership import ClientRecord, MembershipLedger
 from repro.fl.persistence import RecordCorruptionError, load_record, save_record
 from repro.fl.rsa import RsaConfig, RsaResult, RsaTrainer
@@ -18,7 +19,9 @@ __all__ = [
     "ClientRecord",
     "FederatedSimulation",
     "JournalSnapshot",
+    "LiveTrainingSession",
     "MembershipLedger",
+    "RecordSnapshot",
     "ParticipationSchedule",
     "RecordCorruptionError",
     "RoundJournal",

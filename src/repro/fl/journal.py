@@ -65,6 +65,7 @@ class JournalSnapshot:
     quarantine: List[Tuple[int, int, str]] = field(default_factory=list)
     fault_stats: Dict[str, int] = field(default_factory=dict)
     validator_norms: Optional[List[float]] = None
+    excluded: List[int] = field(default_factory=list)
 
 
 class RoundJournal:
@@ -121,6 +122,7 @@ class RoundJournal:
             "quarantine": [[t, c, r] for t, c, r in snapshot.quarantine],
             "fault_stats": dict(snapshot.fault_stats),
             "validator_norms": snapshot.validator_norms,
+            "excluded": sorted(snapshot.excluded),
         }
         save_state_atomic(self.path, arrays, meta)
 
@@ -199,4 +201,5 @@ class RoundJournal:
             ],
             fault_stats={str(k): int(v) for k, v in meta.get("fault_stats", {}).items()},
             validator_norms=meta.get("validator_norms"),
+            excluded=[int(c) for c in meta.get("excluded", [])],
         )

@@ -46,7 +46,7 @@ and parallel runs produce identical counters.
 from __future__ import annotations
 
 import functools
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -180,6 +180,9 @@ class FederatedSimulation:
         self.fault_stats: Dict[str, int] = {k: 0 for k in _FAULT_STAT_KEYS}
         self._registered: set = set()
         self._left: set = set()
+        # Clients erased mid-run (live-traffic path): the schedule may
+        # still select them, but they never train or store again.
+        self._excluded: set = set()
 
     # ------------------------------------------------------------------
     def _sync_membership(self, round_index: int) -> List[int]:
@@ -202,12 +205,60 @@ class FederatedSimulation:
             ):
                 self.server.client_left(cid, round_index)
                 self._left.add(cid)
+            if cid in self._excluded:
+                # Erased mid-run: the schedule still lists the client,
+                # but it must never contribute again.  Normally the
+                # exclusion already recorded a ledger leave; when that
+                # was impossible (erased the round it joined) a dropout
+                # keeps the ledger consistent with the empty store.
+                if cid in self._registered and self.server.ledger.is_member(
+                    cid, round_index
+                ):
+                    self.server.client_dropped_out(cid, round_index)
+                continue
             if cid in self._registered and self.schedule.is_member(cid, round_index):
                 if (round_index, cid) in self.schedule.dropouts:
                     self.server.client_dropped_out(cid, round_index)
                 else:
                     participants.append(cid)
         return participants
+
+    def exclude_clients(self, client_ids: Sequence[int], round_index: int) -> None:
+        """Permanently drop ``client_ids`` from all rounds >= ``round_index``.
+
+        The merge commit of a live erasure calls this (under the train
+        gate) so forgotten vehicles never re-enter training.  A ledger
+        leave is recorded when one is still possible, making the
+        exclusion durable across journal resume and visible to every
+        later membership query — no resurrected clients.
+        """
+        for cid in sorted(set(int(c) for c in client_ids)):
+            self._excluded.add(cid)
+            if (
+                cid in self._registered
+                and cid not in self._left
+                and round_index > self.server.ledger.join_round(cid)
+            ):
+                self.server.client_left(cid, round_index)
+                self._left.add(cid)
+
+    def record_view(self, num_rounds: int = 0) -> TrainingRecord:
+        """A :class:`TrainingRecord` over the *live* server state.
+
+        The stores, ledger, and size map are the server's own objects —
+        the view tracks training as it happens; only ``num_rounds``
+        freezes how deep a reader may look.  The live-traffic session
+        advances it after each committed round.
+        """
+        return TrainingRecord(
+            checkpoints=self.server.checkpoints,
+            gradients=self.server.gradients,
+            ledger=self.server.ledger,
+            client_sizes=self.server.client_sizes,
+            num_rounds=num_rounds,
+            learning_rate=self.server.learning_rate,
+            aggregator=self.server.aggregator_name,
+        )
 
     # ------------------------------------------------------------------
     # fault-aware client compute
@@ -433,6 +484,7 @@ class FederatedSimulation:
             client_sizes=dict(self.server.client_sizes),
             registered=sorted(self._registered),
             left=sorted(self._left),
+            excluded=sorted(self._excluded),
             accuracy_history=list(accuracy_history),
             rng_states={
                 cid: c.rng.bit_generator.state for cid, c in self.clients.items()
@@ -464,6 +516,7 @@ class FederatedSimulation:
         server.quarantine = [QuarantineEvent(*e) for e in snapshot.quarantine]
         self._registered = set(snapshot.registered)
         self._left = set(snapshot.left)
+        self._excluded = set(snapshot.excluded)
         for key in _FAULT_STAT_KEYS:
             self.fault_stats[key] = snapshot.fault_stats.get(key, 0)
         unknown = set(snapshot.rng_states) - set(self.clients)
@@ -491,6 +544,30 @@ class FederatedSimulation:
         instead of starting over.  A scheduled server kill raises
         :class:`~repro.faults.injection.ServerKilledError` *after* the
         round's commit, so nothing is lost.
+        """
+        gen = self.stream(num_rounds, round_callback=round_callback, journal=journal)
+        while True:
+            try:
+                next(gen)
+            except StopIteration as stop:
+                return stop.value
+
+    def stream(
+        self,
+        num_rounds: int,
+        round_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+        journal: Optional[RoundJournal] = None,
+    ) -> Generator[Tuple[int, np.ndarray], None, TrainingRecord]:
+        """Round-by-round generator form of :meth:`run`.
+
+        Yields ``(round_index, new_params)`` after each completed round
+        — after the journal commit and any scheduled kill check, so a
+        yielded round is durable.  All mutation happens inside
+        ``next()``: the live-traffic session drives this under its train
+        gate and publishes a fresh watermark between rounds, while
+        erasure replays read the committed prefix lock-free.  Draining
+        the generator is bitwise identical to :meth:`run`; the record is
+        the ``StopIteration`` value.
         """
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -554,6 +631,7 @@ class FederatedSimulation:
                     journal.commit(self._snapshot(accuracy_history))
                 if self.fault_plan is not None and self.fault_plan.kill_after(t):
                     raise ServerKilledError(t)
+                yield t, new_params
         finally:
             if executor is not None:
                 executor.close()

@@ -29,6 +29,7 @@ from repro.serving.loadgen import (
     LoadGenerator,
     SCHEDULES,
     mass_gdpr_schedule,
+    mixed_schedule,
     rush_hour_schedule,
     steady_schedule,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "SloRecorder",
     "SloReport",
     "mass_gdpr_schedule",
+    "mixed_schedule",
     "percentile",
     "rush_hour_schedule",
     "steady_schedule",

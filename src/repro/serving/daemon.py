@@ -73,7 +73,11 @@ from repro.serving.requests import (
     ServiceResponse,
 )
 from repro.telemetry.core import current_telemetry
-from repro.unlearning.service import DependentAbortError, UnlearningService
+from repro.unlearning.service import (
+    DependentAbortError,
+    ServiceBusyError,
+    UnlearningService,
+)
 from repro.utils.logging import get_logger
 
 __all__ = ["ErasureDaemon", "DEGRADED_MODES"]
@@ -276,7 +280,14 @@ class ErasureDaemon:
         # After a clean join no replay is mid-flight, so this leaves no
         # decode threads behind; after a timed-out stop a straggler may
         # still hold the service lock — skip rather than hang.
-        self.service.drain_prefetch(blocking=False)
+        try:
+            self.service.drain_prefetch(blocking=False)
+        except ServiceBusyError as exc:
+            _log.warning(
+                "prefetch drain skipped at shutdown: %s (retry after %.2fs)",
+                exc,
+                exc.retry_after,
+            )
         if self.flusher is not None:
             self.flusher.stop()
 

@@ -41,6 +41,7 @@ __all__ = [
     "LoadGenerator",
     "SCHEDULES",
     "mass_gdpr_schedule",
+    "mixed_schedule",
     "rush_hour_schedule",
     "steady_schedule",
 ]
@@ -48,11 +49,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Arrival:
-    """One scheduled request: when it arrives and what it asks for."""
+    """One scheduled request: when it arrives and what it asks for.
+
+    ``kind`` is ``"erase"`` (submitted to the daemon) or ``"train"``
+    (a vehicle round-participation arrival, dispatched to the
+    generator's ``train_sink`` — see :func:`mixed_schedule`).
+    """
 
     at_seconds: float
     client_ids: Tuple[int, ...]
     key: str
+    kind: str = "erase"
 
 
 def _mix_requests(
@@ -193,10 +200,66 @@ def mass_gdpr_schedule(
     return merged
 
 
+def mixed_schedule(
+    rate: float,
+    duration_seconds: float,
+    population: Sequence[int],
+    seed: int = 0,
+    train_fraction: float = 0.7,
+    batch_fraction: float = 0.0,
+    duplicate_fraction: float = 0.3,
+    key_prefix: str = "mixed",
+) -> List[Arrival]:
+    """Interleaved train/erase arrivals — the live-traffic workload.
+
+    One Poisson stream at ``rate`` req/s; each arrival is independently
+    a *training* round trigger (probability ``train_fraction`` — a
+    cohort of vehicles uploading to the RSU) or an *erasure* request
+    drawn with the usual fresh/retry mix.  Deterministic under the
+    seed: the split and both sub-streams derive from one generator.
+
+    Train arrivals carry no client ids (the participation schedule
+    decides who uploads) and keys ``{key_prefix}-train-{i}``; the load
+    generator dispatches them to its ``train_sink`` instead of the
+    daemon.
+    """
+    if not 0.0 <= train_fraction <= 1.0:
+        raise ValueError("train_fraction must be within [0, 1]")
+    if rate <= 0 or duration_seconds <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(round(rate * duration_seconds)))
+    gaps = rng.exponential(1.0 / rate, size=n)
+    times = np.cumsum(gaps)
+    times = times[times < duration_seconds]
+    if times.size == 0:
+        times = np.array([duration_seconds / 2.0])
+    is_train = rng.random(times.size) < train_fraction
+    erase_arrivals = _mix_requests(
+        times[~is_train],
+        population,
+        rng,
+        batch_fraction,
+        duplicate_fraction,
+        key_prefix,
+    )
+    train_arrivals = [
+        Arrival(
+            at_seconds=float(t),
+            client_ids=(),
+            key=f"{key_prefix}-train-{i}",
+            kind="train",
+        )
+        for i, t in enumerate(np.sort(times[is_train]))
+    ]
+    return sorted(erase_arrivals + train_arrivals, key=lambda a: a.at_seconds)
+
+
 SCHEDULES: Dict[str, Callable] = {
     "steady": steady_schedule,
     "rush_hour": rush_hour_schedule,
     "mass_gdpr": mass_gdpr_schedule,
+    "mixed": mixed_schedule,
 }
 """Named arrival-schedule builders, for run-table factor columns."""
 
@@ -214,6 +277,11 @@ class LoadGenerator:
     clock, sleep:
         Time sources — real by default; injectable to run schedules
         faster than wall clock in unit tests.
+    train_sink:
+        Where ``kind="train"`` arrivals go (e.g.
+        :meth:`repro.fl.live.LiveTrainingSession.allow_rounds` bound to
+        one permit per arrival).  Required when running a mixed
+        schedule; erase-only schedules never touch it.
     """
 
     def __init__(
@@ -222,11 +290,15 @@ class LoadGenerator:
         deadline_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        train_sink: Optional[Callable[[Arrival], None]] = None,
     ):
         self.daemon = daemon
         self.deadline_seconds = deadline_seconds
         self._clock = clock
         self._sleep = sleep
+        self.train_sink = train_sink
+        #: train arrivals dispatched during the last :meth:`run`.
+        self.train_dispatched = 0
 
     def run(self, schedule: Sequence[Arrival], label: str = "load") -> SloReport:
         """Submit every arrival at its scheduled time; gather responses.
@@ -239,11 +311,23 @@ class LoadGenerator:
         recorder = SloRecorder(label=label)
         pending = []
         completed_at: Dict[int, float] = {}
+        self.train_dispatched = 0
         started = self._clock()
         for arrival in schedule:
             now = self._clock() - started
             if arrival.at_seconds > now:
                 self._sleep(arrival.at_seconds - now)
+            if arrival.kind == "train":
+                # Training traffic is not an SLO-tracked request — it
+                # models vehicles uploading between erasures.
+                if self.train_sink is None:
+                    raise ValueError(
+                        "schedule contains train arrivals but no "
+                        "train_sink is configured"
+                    )
+                self.train_sink(arrival)
+                self.train_dispatched += 1
+                continue
             submitted = self._clock()
             try:
                 future = self.daemon.submit(

@@ -20,6 +20,7 @@ from repro.storage.prefetch import (
     default_prefetch_depth,
     set_default_prefetch_depth,
 )
+from repro.storage.snapshot import SnapshotPin, SnapshotRegistry
 from repro.storage.tiered import (
     TieredSignGradientStore,
     default_cold_cache_blocks,
@@ -45,6 +46,8 @@ __all__ = [
     "RoundPrefetcher",
     "SIGN_BACKENDS",
     "SignGradientStore",
+    "SnapshotPin",
+    "SnapshotRegistry",
     "TieredSignGradientStore",
     "decode_gradient",
     "decode_round",

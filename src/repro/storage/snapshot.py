@@ -1,0 +1,177 @@
+"""Epoch-based snapshot pinning for the live-traffic path.
+
+The stores are append-only per round, so a reader that never looks past
+a *round watermark* sees an immutable prefix — except for physical
+reclamation (``drop_client`` after an erasure commits, tier
+compaction), which deletes old keys in place.  :class:`SnapshotRegistry`
+makes that safe without a stop-the-world lock:
+
+- a reader takes a :class:`SnapshotPin` before touching pinned state and
+  releases it when done;
+- a writer that wants to reclaim calls :meth:`SnapshotRegistry.defer`
+  with the destructive action.  With no readers active the action runs
+  immediately; otherwise it is queued behind an *epoch barrier* — the
+  registry's epoch is bumped, and the action runs once every pin taken
+  at or before the barrier has drained.  Pins taken *after* the barrier
+  never block it (their owners already operate on the post-reclaim
+  logical state: an erased client is in every later forget set).
+
+This is classic epoch-based reclamation, scoped to what the replay path
+needs: deferred physical deletes, a :meth:`quiesce` for checkpointing,
+and counters for the ``service_snapshot_*`` telemetry family.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["SnapshotPin", "SnapshotRegistry"]
+
+
+class SnapshotPin:
+    """One reader's hold on the current snapshot epoch.
+
+    Release exactly once via :meth:`release` (idempotent).  The pin
+    records the epoch it was taken in; deferred actions with a barrier
+    at or above that epoch wait for it.
+    """
+
+    __slots__ = ("_registry", "epoch", "_released")
+
+    def __init__(self, registry: "SnapshotRegistry", epoch: int):
+        self._registry = registry
+        self.epoch = epoch
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the pin; flushes any deferred actions it was blocking."""
+        if self._released:
+            return
+        self._released = True
+        self._registry._unpin(self)
+
+    # Context-manager sugar so short read sections can ``with`` a pin.
+    def __enter__(self) -> "SnapshotPin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class SnapshotRegistry:
+    """Tracks active snapshot readers and defers physical reclamation.
+
+    Thread-safe.  Deferred actions run on the thread that releases the
+    last blocking pin (or the deferring thread itself when no pins are
+    active), *outside* the registry's internal lock — actions may touch
+    stores freely but must not re-enter the registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._epoch = 0
+        # epoch -> number of active pins taken in that epoch
+        self._active: Dict[int, int] = {}
+        #: actions queued as ``(barrier_epoch, action)`` — runnable once
+        #: no active pin has ``pin.epoch <= barrier_epoch``.
+        self._deferred: List[Tuple[int, Callable[[], None]]] = []
+        self.pins_total = 0
+        self.deferred_total = 0
+        self.flushed_total = 0
+
+    # ------------------------------------------------------------------
+    def pin(self) -> SnapshotPin:
+        """Enter the current epoch as a reader."""
+        with self._lock:
+            pin = SnapshotPin(self, self._epoch)
+            self._active[self._epoch] = self._active.get(self._epoch, 0) + 1
+            self.pins_total += 1
+        return pin
+
+    def active_pins(self) -> int:
+        """Number of currently held pins."""
+        with self._lock:
+            return sum(self._active.values())
+
+    def pending(self) -> int:
+        """Deferred actions not yet flushed."""
+        with self._lock:
+            return len(self._deferred)
+
+    # ------------------------------------------------------------------
+    def defer(self, action: Callable[[], None]) -> bool:
+        """Run ``action`` now if no reader is active, else queue it
+        behind an epoch barrier.  Returns True when it ran immediately.
+        """
+        with self._lock:
+            if not self._active:
+                run_now = True
+            else:
+                run_now = False
+                self._deferred.append((self._epoch, action))
+                self.deferred_total += 1
+                # Later pins enter a fresh epoch and never block this
+                # action.
+                self._epoch += 1
+        if run_now:
+            action()
+        return run_now
+
+    def _min_active_epoch(self) -> Optional[int]:
+        return min(self._active) if self._active else None
+
+    def _unpin(self, pin: SnapshotPin) -> None:
+        ready: List[Callable[[], None]] = []
+        with self._lock:
+            count = self._active.get(pin.epoch, 0)
+            if count <= 1:
+                self._active.pop(pin.epoch, None)
+            else:
+                self._active[pin.epoch] = count - 1
+            floor = self._min_active_epoch()
+            still: List[Tuple[int, Callable[[], None]]] = []
+            for barrier, action in self._deferred:
+                if floor is None or barrier < floor:
+                    ready.append(action)
+                else:
+                    still.append((barrier, action))
+            self._deferred = still
+            self.flushed_total += len(ready)
+            self._drained.notify_all()
+        for action in ready:
+            action()
+
+    # ------------------------------------------------------------------
+    def quiesce(self, timeout: Optional[float] = None) -> bool:
+        """Block until no pin is held (readers drained).
+
+        Returns False on timeout.  Does not prevent new pins from being
+        taken afterwards — callers needing exclusion must hold their own
+        admission lock around the pin-granting path.
+        """
+        with self._lock:
+            return self._drained.wait_for(
+                lambda: not self._active, timeout=timeout
+            )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Quiesce, then run every still-deferred action inline.
+
+        Used before persistence: a checkpoint must not contain payloads
+        a committed erasure already logically deleted.
+        """
+        if not self.quiesce(timeout=timeout):
+            return False
+        with self._lock:
+            ready = [action for _, action in self._deferred]
+            self._deferred = []
+            self.flushed_total += len(ready)
+        for action in ready:
+            action()
+        return True

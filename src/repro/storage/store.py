@@ -22,6 +22,7 @@ telemetry the instrumentation short-circuits to nothing.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -225,17 +226,27 @@ class FullGradientStore(GradientStore):
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], np.ndarray] = {}
         self._nbytes = 0
+        # Index + mutex make concurrent replay reads safe against the
+        # live round loop's writes (see SignGradientStore for the full
+        # rationale — the two stores share the scheme).
+        self._mutex = threading.Lock()
+        self._round_clients: Dict[int, List[int]] = {}
+        self._client_rounds: Dict[int, List[int]] = {}
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         telemetry = current_telemetry()
         with telemetry.span("storage_encode_seconds"):
             stored = np.asarray(gradient, dtype=np.float32).copy()
         key = (round_index, client_id)
-        previous = self._records.get(key)
-        if previous is not None:
-            self._nbytes -= previous.nbytes
-        self._records[key] = stored
-        self._nbytes += stored.nbytes
+        with self._mutex:
+            previous = self._records.get(key)
+            if previous is not None:
+                self._nbytes -= previous.nbytes
+            else:
+                self._round_clients.setdefault(round_index, []).append(client_id)
+                self._client_rounds.setdefault(client_id, []).append(round_index)
+            self._records[key] = stored
+            self._nbytes += stored.nbytes
         if telemetry.enabled:
             telemetry.inc(
                 "storage_encoded_elements_total", stored.size, backend="full"
@@ -261,14 +272,17 @@ class FullGradientStore(GradientStore):
         return (round_index, client_id) in self._records
 
     def rounds(self) -> List[int]:
-        return sorted({r for r, _ in self._records})
+        with self._mutex:
+            return sorted(t for t, ids in self._round_clients.items() if ids)
 
     def clients_at(self, round_index: int) -> List[int]:
-        return sorted(c for r, c in self._records if r == round_index)
+        with self._mutex:
+            return sorted(self._round_clients.get(round_index, ()))
 
     def items(self) -> List[Tuple[Tuple[int, int], np.ndarray]]:
         """Sorted ``((round, client), float32 gradient)`` pairs."""
-        return sorted(self._records.items())
+        with self._mutex:
+            return sorted(self._records.items())
 
     def nbytes(self) -> int:
         # Maintained incrementally at put/drop time: O(1) instead of a
@@ -278,13 +292,20 @@ class FullGradientStore(GradientStore):
     def recount_nbytes(self) -> int:
         """Recompute the byte total from the records — the accounting
         oracle the incremental ``nbytes`` cache is tested against."""
-        return int(sum(g.nbytes for g in self._records.values()))
+        with self._mutex:
+            return int(sum(g.nbytes for g in self._records.values()))
 
     def drop_client(self, client_id: int) -> int:
-        keys = [k for k in self._records if k[1] == client_id]
-        for key in keys:
-            self._nbytes -= self._records.pop(key).nbytes
-        return len(keys)
+        with self._mutex:
+            rounds = self._client_rounds.pop(client_id, [])
+            for t in rounds:
+                self._nbytes -= self._records.pop((t, client_id)).nbytes
+                ids = self._round_clients.get(t)
+                if ids is not None:
+                    ids.remove(client_id)
+                    if not ids:
+                        del self._round_clients[t]
+            return len(rounds)
 
 
 class SignGradientStore(GradientStore):
@@ -305,6 +326,16 @@ class SignGradientStore(GradientStore):
         self.delta = delta
         self._records: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
         self._nbytes = 0
+        # Concurrent-read support for the live-traffic path: a pinned
+        # replay reads rounds below its watermark while the round loop
+        # keeps appending new rounds (and an erasure commit may drop a
+        # client).  Readers resolve cohorts through these indexes and
+        # per-key dict gets instead of iterating ``_records``, and every
+        # structural mutation happens under ``_mutex`` — so a reader
+        # never observes a dict mid-resize or an index mid-edit.
+        self._mutex = threading.Lock()
+        self._round_clients: Dict[int, List[int]] = {}
+        self._client_rounds: Dict[int, List[int]] = {}
 
     def _store(self, key: Tuple[int, int], packed: np.ndarray, length: int) -> None:
         # Single choke point for payload normalization and byte
@@ -313,11 +344,15 @@ class SignGradientStore(GradientStore):
         # would otherwise make the incremental nbytes cache diverge
         # from a recount after a drop-then-reinsert of the same key.
         packed = np.ascontiguousarray(packed, dtype=np.uint8).reshape(-1)
-        previous = self._records.pop(key, None)
-        if previous is not None:
-            self._nbytes -= previous[0].nbytes
-        self._records[key] = (packed, length)
-        self._nbytes += packed.nbytes
+        with self._mutex:
+            previous = self._records.pop(key, None)
+            if previous is not None:
+                self._nbytes -= previous[0].nbytes
+            else:
+                self._round_clients.setdefault(key[0], []).append(key[1])
+                self._client_rounds.setdefault(key[1], []).append(key[0])
+            self._records[key] = (packed, length)
+            self._nbytes += packed.nbytes
 
     def put(self, round_index: int, client_id: int, gradient: np.ndarray) -> None:
         telemetry = current_telemetry()
@@ -420,9 +455,8 @@ class SignGradientStore(GradientStore):
         read-only).  Rounds whose payload lengths differ fall back to
         per-client decoding.
         """
-        entries = sorted(
-            (cid, rec) for (t, cid), rec in self._records.items() if t == round_index
-        )
+        encoded = self.encoded_round(round_index)
+        entries = sorted(encoded.items()) if encoded else []
         if not entries:
             return {}
         telemetry = current_telemetry()
@@ -451,24 +485,32 @@ class SignGradientStore(GradientStore):
         self, round_index: int
     ) -> Optional[Dict[int, Tuple[np.ndarray, int]]]:
         """Raw ``{client: (packed, length)}`` payloads of one round."""
-        return {
-            cid: rec
-            for (t, cid), rec in self._records.items()
-            if t == round_index
-        }
+        with self._mutex:
+            ids = list(self._round_clients.get(round_index, ()))
+        out: Dict[int, Tuple[np.ndarray, int]] = {}
+        for cid in ids:
+            # Per-key get is atomic; a concurrent drop just makes the
+            # entry absent, same as a historical dropout.
+            rec = self._records.get((round_index, cid))
+            if rec is not None:
+                out[cid] = rec
+        return out
 
     def has(self, round_index: int, client_id: int) -> bool:
         return (round_index, client_id) in self._records
 
     def rounds(self) -> List[int]:
-        return sorted({r for r, _ in self._records})
+        with self._mutex:
+            return sorted(t for t, ids in self._round_clients.items() if ids)
 
     def clients_at(self, round_index: int) -> List[int]:
-        return sorted(c for r, c in self._records if r == round_index)
+        with self._mutex:
+            return sorted(self._round_clients.get(round_index, ()))
 
     def items(self) -> List[Tuple[Tuple[int, int], Tuple[np.ndarray, int]]]:
         """Sorted ``((round, client), (packed, length))`` pairs."""
-        return sorted(self._records.items())
+        with self._mutex:
+            return sorted(self._records.items())
 
     def nbytes(self) -> int:
         # Maintained incrementally by _store/drop_client: O(1) instead
@@ -478,13 +520,22 @@ class SignGradientStore(GradientStore):
     def recount_nbytes(self) -> int:
         """Recompute the byte total from the records — the accounting
         oracle the incremental ``nbytes`` cache is tested against."""
-        return int(sum(packed.nbytes for packed, _ in self._records.values()))
+        with self._mutex:
+            return int(
+                sum(packed.nbytes for packed, _ in self._records.values())
+            )
 
     def drop_client(self, client_id: int) -> int:
-        keys = [k for k in self._records if k[1] == client_id]
-        for key in keys:
-            self._nbytes -= self._records.pop(key)[0].nbytes
-        return len(keys)
+        with self._mutex:
+            rounds = self._client_rounds.pop(client_id, [])
+            for t in rounds:
+                self._nbytes -= self._records.pop((t, client_id))[0].nbytes
+                ids = self._round_clients.get(t)
+                if ids is not None:
+                    ids.remove(client_id)
+                    if not ids:
+                        del self._round_clients[t]
+            return len(rounds)
 
 
 class ModelCheckpointStore:

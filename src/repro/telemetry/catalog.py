@@ -436,6 +436,52 @@ _ALL_SPECS = [
         "Erasure requests served, by arrival mode (single|batch).",
         labels=("mode",),
     ),
+    _spec(
+        "service_snapshot_pins_total", COUNTER, "pins",
+        "repro.unlearning.service",
+        "Record snapshots pinned for lock-free live-traffic replay.",
+    ),
+    _spec(
+        "service_snapshot_active", GAUGE, "pins",
+        "repro.unlearning.service",
+        "Snapshot pins currently outstanding (readers not yet drained).",
+    ),
+    _spec(
+        "service_snapshot_watermark", GAUGE, "rounds",
+        "repro.unlearning.service",
+        "Round watermark of the most recently pinned snapshot.",
+    ),
+    _spec(
+        "service_snapshot_deferred_drops_total", COUNTER, "clients",
+        "repro.unlearning.service",
+        "Physical client purges deferred until the last pinned reader "
+        "drained (epoch-based reclamation).",
+    ),
+    _spec(
+        "service_snapshot_conflicts_total", COUNTER, "requests",
+        "repro.unlearning.service",
+        "Optimistic live erasures whose commit raced a concurrent "
+        "erasure and retried against a fresh snapshot.",
+    ),
+    _spec(
+        "service_merge_commits_total", COUNTER, "commits",
+        "repro.unlearning.service",
+        "Counterfactual models folded into the live history, by merge "
+        "mode (replay|project|npg).",
+        labels=("mode",),
+    ),
+    _spec(
+        "service_merge_seconds", HISTOGRAM, "seconds",
+        "repro.unlearning.service",
+        "Train-gate hold of one merge commit, including tail-delta "
+        "replay (span).",
+    ),
+    _spec(
+        "service_merge_tail_rounds", HISTOGRAM, "rounds",
+        "repro.unlearning.service",
+        "Rounds trained past the snapshot watermark that a merge commit "
+        "had to fold in.",
+    ),
     # ----------------------------------------------------------- serving.daemon
     _spec(
         "serving_requests_total", COUNTER, "requests", "repro.serving.daemon",

@@ -23,7 +23,12 @@ from repro.unlearning.baselines import (
     FedEraserUnlearner,
     FedRecoverUnlearner,
     FedRecoveryUnlearner,
+    NegatedPseudoGradientUnlearner,
     RetrainUnlearner,
+)
+from repro.unlearning.merge import (
+    conflict_projected_merge,
+    negated_pseudo_gradient_tail,
 )
 from repro.unlearning.estimator import (
     GradientEstimator,
@@ -38,9 +43,11 @@ from repro.unlearning.recovery import (
     SignRecoveryUnlearner,
 )
 from repro.unlearning.service import (
+    MERGE_MODES,
     DependentAbortError,
     ErasureOutcome,
     FusedBatchReport,
+    ServiceBusyError,
     UnlearningService,
 )
 
@@ -56,13 +63,18 @@ __all__ = [
     "FusedReplayStats",
     "GradientEstimator",
     "LbfgsBuffer",
+    "MERGE_MODES",
+    "NegatedPseudoGradientUnlearner",
     "ReplayForest",
     "ReplayPrefixCache",
     "RetrainUnlearner",
+    "ServiceBusyError",
     "SignRecoveryUnlearner",
     "UnlearningService",
     "ErasureOutcome",
+    "conflict_projected_merge",
     "fused_unlearn",
+    "negated_pseudo_gradient_tail",
     "UnlearnResult",
     "UnlearningMethod",
     "backtrack",

@@ -5,6 +5,7 @@ from repro.unlearning.baselines.deltagrad import DeltaGradUnlearner
 from repro.unlearning.baselines.federaser import FedEraserUnlearner
 from repro.unlearning.baselines.fedrecover import FedRecoverUnlearner
 from repro.unlearning.baselines.fedrecovery import FedRecoveryUnlearner
+from repro.unlearning.baselines.npg import NegatedPseudoGradientUnlearner
 from repro.unlearning.baselines.retrain import RetrainUnlearner
 
 __all__ = [
@@ -12,5 +13,6 @@ __all__ = [
     "FedEraserUnlearner",
     "FedRecoverUnlearner",
     "FedRecoveryUnlearner",
+    "NegatedPseudoGradientUnlearner",
     "RetrainUnlearner",
 ]

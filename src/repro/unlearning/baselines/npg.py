@@ -1,0 +1,72 @@
+"""Negated-pseudo-gradient (NPG) streaming baseline.
+
+Grounded in the negated-pseudo-gradient family of federated unlearning
+methods (arXiv 2504.05822): instead of backtracking and replaying, the
+server *adds back* the forgotten clients' recorded contribution — under
+FedAvg + SGD each round applied ``w ← w − η · Σ_i share_i · g_i``, so
+negating a client means adding ``Σ_t η · share_i(t) · ĝ_i(t)`` onto the
+final model.  ``ĝ`` is whatever the store reconstructs, which is what
+makes this *pseudo*: with the paper's 2-bit scheme it is the decoded
+sign direction, so the baseline runs on the same storage budget as the
+paper's method (unlike FedRecovery, which demands full float32
+gradients).
+
+**Streaming**: rounds are folded into one running correction vector in
+round order — O(d) memory regardless of history length, no replay, no
+checkpoint access beyond ``w_T``.  This is also the live serving
+fast-path merge (``merge_mode="npg"``); surfacing it as a baseline puts
+a number on what the approximation costs in Table-1 terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.client import VehicleClient
+from repro.fl.history import TrainingRecord
+from repro.nn.model import Sequential
+from repro.unlearning.base import ModelFactory, UnlearnResult, UnlearningMethod
+from repro.unlearning.merge import negated_pseudo_gradient_tail
+
+__all__ = ["NegatedPseudoGradientUnlearner"]
+
+
+class NegatedPseudoGradientUnlearner(UnlearningMethod):
+    """One-pass negated pseudo-gradient removal over the stored history."""
+
+    name = "npg"
+
+    def unlearn(
+        self,
+        record: TrainingRecord,
+        forget_ids: Sequence[int],
+        model: Sequential,
+        clients: Optional[Dict[int, VehicleClient]] = None,
+        model_factory: Optional[ModelFactory] = None,
+    ) -> UnlearnResult:
+        forget_set = set(int(c) for c in forget_ids)
+        unknown = forget_set - set(record.ledger.known_clients())
+        if unknown:
+            raise ValueError(f"cannot forget unknown clients {sorted(unknown)}")
+        correction = negated_pseudo_gradient_tail(
+            record, sorted(forget_set), 0, record.num_rounds
+        )
+        params = record.final_params() + correction
+        contributed = sum(
+            1
+            for t in range(record.num_rounds)
+            for cid in record.ledger.participants_at(t)
+            if cid in forget_set
+        )
+        return UnlearnResult(
+            params=np.asarray(params, dtype=np.float64),
+            method=self.name,
+            rounds_replayed=0,
+            client_gradient_calls=0,
+            stats={
+                "forgotten_contributions": contributed,
+                "correction_norm": float(np.linalg.norm(correction)),
+            },
+        )

@@ -1,0 +1,97 @@
+"""Merge-back of a counterfactual model into live training.
+
+A live erasure computes its counterfactual at a pinned round watermark
+``W`` while training advances to ``T' >= W``.  The commit must produce
+one model that reflects *both* the erasure and the rounds trained past
+the watermark.  Three strategies, in decreasing exactness:
+
+- **replay** (exact; implemented in the service): re-run the unlearner
+  over the live record at ``T'`` — the replay forest serves the
+  ``[F, W)`` prefix cached by the lock-free phase, so only the tail
+  ``[W, T')`` executes under the train gate.  Byte-identical to
+  stopping the world at ``T'``.
+- **project** (:func:`conflict_projected_merge`) — FedOSD-style
+  (arXiv 2412.20200) conflict-aware task arithmetic: treat the
+  counterfactual delta and the live-training delta as two task vectors
+  from the common ancestor ``w_W`` and drop the conflicting component
+  of the unlearning delta before adding it onto the live model.
+- **npg** (:func:`negated_pseudo_gradient_tail`) — negated
+  pseudo-gradient correction (arXiv 2504.05822): approximate the
+  forgotten clients' influence on the tail rounds by their stored
+  (FedAvg-weighted) update shares and *add it back*, since training
+  applied ``w ← w − η·Σ share·g``.
+
+The approximate modes cost O(d) and O(tail·d) respectively — no replay
+— at the price of an approximate tail.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fl.history import TrainingRecord
+
+__all__ = ["conflict_projected_merge", "negated_pseudo_gradient_tail"]
+
+
+def conflict_projected_merge(
+    base: np.ndarray, counterfactual: np.ndarray, live: np.ndarray
+) -> np.ndarray:
+    """FedOSD-style orthogonal merge of an unlearning delta into a live
+    model.
+
+    ``u = counterfactual − base`` is the unlearning task vector, ``v =
+    live − base`` the live-training task vector (``base`` is ``w_W``,
+    the common ancestor).  When the two conflict (``⟨u, v⟩ < 0``) the
+    component of ``u`` along ``v`` would undo training progress, so it
+    is projected out; the merged model is ``live + u′``.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    counterfactual = np.asarray(counterfactual, dtype=np.float64)
+    live = np.asarray(live, dtype=np.float64)
+    u = counterfactual - base
+    v = live - base
+    vv = float(v @ v)
+    if vv > 0.0:
+        uv = float(u @ v)
+        if uv < 0.0:
+            u = u - (uv / vv) * v
+    return live + u
+
+
+def negated_pseudo_gradient_tail(
+    record: TrainingRecord,
+    client_ids: Sequence[int],
+    start_round: int,
+    end_round: int,
+) -> np.ndarray:
+    """The forgotten clients' aggregate contribution to rounds
+    ``[start_round, end_round)``, recovered from the store.
+
+    Under FedAvg + SGD each round applied
+    ``w ← w − η · Σ_i share_i · g_i``; the returned vector is
+    ``Σ_t Σ_{c∈ids} η · share_c(t) · ĝ_c(t)`` — *adding* it to a model
+    approximately negates those clients' tail influence.  ``ĝ`` is the
+    store's reconstruction (for the sign scheme: the decoded direction
+    estimate), which is what makes this a *pseudo*-gradient correction.
+    """
+    forget = set(int(c) for c in client_ids)
+    correction = None
+    for t in range(int(start_round), int(end_round)):
+        participants = record.ledger.participants_at(t)
+        present = [cid for cid in participants if cid in forget]
+        if not present:
+            continue
+        total_weight = sum(record.weight_of(cid) for cid in participants)
+        if total_weight <= 0:
+            continue
+        for cid in present:
+            share = record.weight_of(cid) / total_weight
+            term = record.learning_rate * share * record.gradients.get(t, cid)
+            correction = term if correction is None else correction + term
+    if correction is None:
+        dim = record.final_params().size
+        return np.zeros(dim, dtype=np.float64)
+    return np.asarray(correction, dtype=np.float64)

@@ -80,6 +80,7 @@ per-entry damage isolation) otherwise.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from typing import (
     Callable,
@@ -228,6 +229,11 @@ class ReplayForest:
         self.max_entries = max_entries
         self.max_nodes = max_nodes
         self._roots: List[_ForestRoot] = []
+        # Snapshot-isolated erasures replay (and salvage) concurrently;
+        # the forest is their shared rendezvous, so its public surface
+        # is serialized by one reentrant lock.  Sections are short
+        # (state copies, no replay work), so contention is negligible.
+        self._lock = threading.RLock()
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -236,14 +242,29 @@ class ReplayForest:
         self.node_evictions = 0
 
     def __len__(self) -> int:
-        return len(self._roots)
+        with self._lock:
+            return len(self._roots)
 
     @property
     def node_count(self) -> int:
         """Snapshot nodes currently held across all roots."""
-        return sum(len(root.nodes) for root in self._roots)
+        with self._lock:
+            return sum(len(root.nodes) for root in self._roots)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _anchor(record):
+        """Root-identity object for ``record``.
+
+        A pinned :class:`~repro.fl.live.RecordSnapshot` carries a
+        ``forest_anchor`` pointing at the live record it froze — so
+        replays against any watermark of one live history, and the
+        merge commits over the history itself, all share one root (and
+        therefore every common prefix segment).  Plain records anchor
+        to themselves.
+        """
+        return getattr(record, "forest_anchor", record)
+
     @staticmethod
     def _cumulative(record, forget_round: int) -> List[FrozenSet[int]]:
         cum: List[FrozenSet[int]] = []
@@ -254,24 +275,46 @@ class ReplayForest:
         cum.append(frozenset(seen))
         return cum
 
+    @staticmethod
+    def _extend_cum(root: _ForestRoot, record) -> None:
+        """Grow ``root.cum`` through ``record.num_rounds``.
+
+        A root created from a snapshot view covers rounds up to its
+        watermark; a later lookup/store over a deeper view (the live
+        record at commit time, or a fresher snapshot) extends the
+        cached participant unions from the passed record's ledger.
+        Participation of past rounds is append-only — events only ever
+        land on the current round — so extension never rewrites an
+        existing entry.
+        """
+        F = root.forget_round
+        want = record.num_rounds - F + 1
+        while len(root.cum) < want:
+            t = F + len(root.cum) - 1
+            root.cum.append(
+                root.cum[-1] | frozenset(record.ledger.participants_at(t))
+            )
+
     def effective_set(
         self, record, forget_round: int, forget: FrozenSet[int], t: int
     ) -> FrozenSet[int]:
         """``S ∩ P[F..t)`` — the node key a request for ``S`` occupies
         at round ``t`` (exposed for the fused executor and tests)."""
-        root = self._find_root(record, None, forget_round, any_base=True)
-        cum = (
-            root.cum
-            if root is not None
-            else self._cumulative(record, forget_round)
-        )
-        return frozenset(forget) & cum[t - forget_round]
+        with self._lock:
+            root = self._find_root(record, None, forget_round, any_base=True)
+            if root is not None:
+                self._extend_cum(root, record)
+                cum = root.cum
+            else:
+                cum = self._cumulative(record, forget_round)
+            return frozenset(forget) & cum[t - forget_round]
 
     def _find_root(
         self, record, base_key, forget_round: int, any_base: bool = False
     ) -> Optional[_ForestRoot]:
+        anchor = self._anchor(record)
         for root in self._roots:
-            if root.record_ref() is not record:
+            if root.record_ref() is not anchor:
                 continue
             if root.forget_round != forget_round:
                 continue
@@ -297,46 +340,52 @@ class ReplayForest:
         """
         telemetry = current_telemetry()
         forget = frozenset(forget)
-        root = self._find_root(record, base_key, forget_round)
-        best: Optional[Tuple[int, _ForestNode]] = None
-        if root is not None:
-            for (t, effective), node in root.nodes.items():
-                if t <= forget_round:
-                    continue
-                if best is not None and t <= best[0]:
-                    continue
-                if forget & root.cum[t - forget_round] == effective:
-                    best = (t, node)
-        if best is None:
-            self.misses += 1
+        with self._lock:
+            root = self._find_root(record, base_key, forget_round)
+            best: Optional[Tuple[int, _ForestNode]] = None
+            if root is not None:
+                self._extend_cum(root, record)
+                for (t, effective), node in root.nodes.items():
+                    if t <= forget_round:
+                        continue
+                    if t > record.num_rounds:
+                        # Node from a deeper view of the same live
+                        # history — beyond this request's watermark.
+                        continue
+                    if best is not None and t <= best[0]:
+                        continue
+                    if forget & root.cum[t - forget_round] == effective:
+                        best = (t, node)
+            if best is None:
+                self.misses += 1
+                if telemetry.enabled:
+                    telemetry.inc("recovery_cache_misses_total")
+                return None
+            resume, node = best
+            self._tick += 1
+            root.last_used = self._tick
+            node.last_used = self._tick
+            saved = resume - forget_round
+            self.hits += 1
+            self.rounds_saved += saved
             if telemetry.enabled:
-                telemetry.inc("recovery_cache_misses_total")
-            return None
-        resume, node = best
-        self._tick += 1
-        root.last_used = self._tick
-        node.last_used = self._tick
-        saved = resume - forget_round
-        self.hits += 1
-        self.rounds_saved += saved
-        if telemetry.enabled:
-            telemetry.inc("recovery_cache_hits_total")
-            telemetry.inc("recovery_cache_rounds_saved_total", saved)
-            telemetry.observe("recovery_forest_hit_depth", saved)
-        snapshot = node.snapshot
-        restored = _ReplaySnapshot(
-            params=np.array(snapshot.params, dtype=np.float64),
-            estimators={
-                cid: state
-                for cid, state in snapshot.estimators.items()
-                if cid not in forget
-            },
-            progress=dict(snapshot.progress),
-        )
-        restored.progress["displacement_norms"] = list(
-            snapshot.progress["displacement_norms"]
-        )
-        return resume, restored
+                telemetry.inc("recovery_cache_hits_total")
+                telemetry.inc("recovery_cache_rounds_saved_total", saved)
+                telemetry.observe("recovery_forest_hit_depth", saved)
+            snapshot = node.snapshot
+            restored = _ReplaySnapshot(
+                params=np.array(snapshot.params, dtype=np.float64),
+                estimators={
+                    cid: state
+                    for cid, state in snapshot.estimators.items()
+                    if cid not in forget
+                },
+                progress=dict(snapshot.progress),
+            )
+            restored.progress["displacement_norms"] = list(
+                snapshot.progress["displacement_norms"]
+            )
+            return resume, restored
 
     def store(
         self,
@@ -359,57 +408,68 @@ class ReplayForest:
         if not snapshots:
             return
         telemetry = current_telemetry()
-        self._tick += 1
-        forget = frozenset(forget)
-        root = self._find_root(record, base_key, forget_round)
-        if root is None:
-            root = _ForestRoot(
-                weakref.ref(record),
-                base_key,
-                forget_round,
-                self._cumulative(record, forget_round),
-            )
+        with self._lock:
+            self._tick += 1
+            forget = frozenset(forget)
+            root = self._find_root(record, base_key, forget_round)
+            if root is None:
+                root = _ForestRoot(
+                    weakref.ref(self._anchor(record)),
+                    base_key,
+                    forget_round,
+                    self._cumulative(record, forget_round),
+                )
+                root.last_used = self._tick
+                self._roots.append(root)
+                # Roots whose record has been garbage-collected can never
+                # match again — purge them before counting the cap.
+                self._roots = [
+                    r for r in self._roots if r.record_ref() is not None
+                ]
+                while len(self._roots) > self.max_entries:
+                    victim = min(self._roots, key=lambda r: r.last_used)
+                    self._roots.remove(victim)
+                    self.evictions += 1
+                    if telemetry.enabled:
+                        telemetry.inc("recovery_cache_evictions_total")
             root.last_used = self._tick
-            self._roots.append(root)
-            # Roots whose record has been garbage-collected can never
-            # match again — purge them before counting the cap.
-            self._roots = [r for r in self._roots if r.record_ref() is not None]
-            while len(self._roots) > self.max_entries:
-                victim = min(self._roots, key=lambda r: r.last_used)
-                self._roots.remove(victim)
-                self.evictions += 1
+            self._extend_cum(root, record)
+            for t, snap in snapshots.items():
+                key = (t, forget & root.cum[t - forget_round])
+                node = root.nodes.get(key)
+                if node is None:
+                    node = _ForestNode(snap)
+                    root.nodes[key] = node
+                else:
+                    # Keep the established snapshot (byte-identical state by
+                    # the effective-set argument) but widen its estimator
+                    # coverage with clients this replay tracked and the
+                    # stored one had forgotten.
+                    for cid, state in snap.estimators.items():
+                        node.snapshot.estimators.setdefault(cid, state)
+                node.last_used = self._tick
+            while self._node_count_locked() > self.max_nodes:
+                victim_root = None
+                victim_key = None
+                victim_tick = None
+                for r in self._roots:
+                    for k, n in r.nodes.items():
+                        if victim_tick is None or n.last_used < victim_tick:
+                            victim_root, victim_key, victim_tick = (
+                                r, k, n.last_used,
+                            )
+                del victim_root.nodes[victim_key]
+                self.node_evictions += 1
                 if telemetry.enabled:
-                    telemetry.inc("recovery_cache_evictions_total")
-        root.last_used = self._tick
-        for t, snap in snapshots.items():
-            key = (t, forget & root.cum[t - forget_round])
-            node = root.nodes.get(key)
-            if node is None:
-                node = _ForestNode(snap)
-                root.nodes[key] = node
-            else:
-                # Keep the established snapshot (byte-identical state by
-                # the effective-set argument) but widen its estimator
-                # coverage with clients this replay tracked and the
-                # stored one had forgotten.
-                for cid, state in snap.estimators.items():
-                    node.snapshot.estimators.setdefault(cid, state)
-            node.last_used = self._tick
-        while self.node_count > self.max_nodes:
-            victim_root = None
-            victim_key = None
-            victim_tick = None
-            for r in self._roots:
-                for k, n in r.nodes.items():
-                    if victim_tick is None or n.last_used < victim_tick:
-                        victim_root, victim_key, victim_tick = r, k, n.last_used
-            del victim_root.nodes[victim_key]
-            self.node_evictions += 1
+                    telemetry.inc("recovery_forest_node_evictions_total")
             if telemetry.enabled:
-                telemetry.inc("recovery_forest_node_evictions_total")
-        if telemetry.enabled:
-            telemetry.set_gauge("recovery_cache_entries", len(self._roots))
-            telemetry.set_gauge("recovery_forest_nodes", self.node_count)
+                telemetry.set_gauge("recovery_cache_entries", len(self._roots))
+                telemetry.set_gauge(
+                    "recovery_forest_nodes", self._node_count_locked()
+                )
+
+    def _node_count_locked(self) -> int:
+        return sum(len(root.nodes) for root in self._roots)
 
 
 #: Historical name from the line-cache era (PR 5) — the forest is a
@@ -663,9 +723,15 @@ class SignRecoveryUnlearner(UnlearningMethod):
     # prefix-cache snapshots
     # ------------------------------------------------------------------
     def _cache_base_key(self, record: TrainingRecord) -> Tuple:
-        """Everything besides the forget set that shapes the trajectory."""
+        """Everything besides the forget set that shapes the trajectory.
+
+        Deliberately watermark-agnostic: ``num_rounds`` is *not* part of
+        the key, so replays pinned at different watermarks of one live
+        history share a root — the replayed prefix of a longer window is
+        byte-identical to the shorter window's full replay, and lookup
+        already refuses nodes beyond the requesting view's watermark.
+        """
         return (
-            int(record.num_rounds),
             float(record.learning_rate),
             str(record.aggregator),
             float(self.clip_threshold),

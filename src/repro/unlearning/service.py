@@ -35,8 +35,9 @@ recovered parameters are byte-identical to serving each request cold.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,15 +49,27 @@ from repro.parallel.executor import Executor, make_executor
 from repro.storage.prefetch import RoundDecodeCache, default_prefetch_depth
 from repro.telemetry.core import current_telemetry
 from repro.unlearning.base import UnlearnResult, resolve_forget_round
+from repro.unlearning.merge import (
+    conflict_projected_merge,
+    negated_pseudo_gradient_tail,
+)
 from repro.unlearning.recovery import ReplayPrefixCache, SignRecoveryUnlearner
 from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an fl<->unlearning cycle)
+    from repro.fl.live import LiveTrainingSession, RecordSnapshot
 
 __all__ = [
     "DependentAbortError",
     "ErasureOutcome",
     "FusedBatchReport",
+    "MERGE_MODES",
+    "ServiceBusyError",
     "UnlearningService",
 ]
+
+#: Merge-back strategies for live erasures — see :mod:`repro.unlearning.merge`.
+MERGE_MODES = ("replay", "project", "npg")
 
 _log = get_logger("unlearning.service")
 
@@ -81,6 +94,20 @@ class ErasureOutcome:
         Replay rounds this request skipped by resuming from the
         service's prefix cache (0 for a cold replay).  Observability
         only — the returned parameters are byte-identical either way.
+    snapshot_watermark:
+        Live path only: the round watermark ``W`` the lock-free replay
+        was pinned at (``None`` on the stop-the-world path).
+    commit_round:
+        Live path only: the round ``T'`` the merge committed at —
+        ``commit_round - snapshot_watermark`` rounds were trained while
+        the erasure was in flight.
+    merge_mode:
+        Live path only: which merge-back strategy folded the
+        counterfactual into the live model (see
+        :data:`MERGE_MODES`).
+    commit_conflicts:
+        Live path only: commit attempts lost to a concurrent erasure
+        changing the forget set (each retried forest-hot).
     """
 
     forgotten: List[int]
@@ -89,6 +116,23 @@ class ErasureOutcome:
     purged_records: int
     detection: Optional[DetectionReport] = None
     cached_prefix_rounds: int = 0
+    snapshot_watermark: Optional[int] = None
+    commit_round: Optional[int] = None
+    merge_mode: Optional[str] = None
+    commit_conflicts: int = 0
+
+
+class ServiceBusyError(RuntimeError):
+    """A non-blocking service operation found the service busy.
+
+    Raised instead of silently returning ``False`` so callers can
+    distinguish "busy, retry later" from a completed no-op.
+    ``retry_after`` is the suggested back-off in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class DependentAbortError(RuntimeError):
@@ -143,6 +187,20 @@ class UnlearningService:
         successive/concurrent requests over the same record resolve
         each round's decode once.  Only allocated once a prefetching
         replay actually runs.
+    merge_mode:
+        How a *live* erasure folds its counterfactual into rounds
+        trained past its snapshot watermark: ``"replay"`` (exact
+        tail-delta replay, default), ``"project"`` (FedOSD
+        conflict-projected merge) or ``"npg"`` (negated pseudo-gradient
+        correction) — see :mod:`repro.unlearning.merge`.  Ignored on
+        the stop-the-world path.
+    max_commit_retries:
+        Commit races a live erasure tolerates (each retry is
+        forest-hot) before giving up.
+    live_session:
+        Optional :class:`~repro.fl.live.LiveTrainingSession` switching
+        the service to the snapshot-isolated live path — use
+        :meth:`bind_live`.
     """
 
     record: TrainingRecord
@@ -153,6 +211,11 @@ class UnlearningService:
     cache_max_entries: int = 8
     prefetch_depth: Optional[int] = None
     decode_cache_bytes: int = 64 * 1024 * 1024
+    merge_mode: str = "replay"
+    max_commit_retries: int = 8
+    live_session: Optional["LiveTrainingSession"] = field(
+        default=None, repr=False, compare=False
+    )
     _erased: List[int] = field(default_factory=list)
     _prefix_cache: Optional[ReplayPrefixCache] = field(default=None, repr=False)
     _decode_cache: Optional[RoundDecodeCache] = field(
@@ -170,6 +233,28 @@ class UnlearningService:
             self._prefix_cache = ReplayPrefixCache(
                 max_entries=self.cache_max_entries
             )
+        if self.merge_mode not in MERGE_MODES:
+            raise ValueError(
+                f"unknown merge_mode {self.merge_mode!r}; choose from "
+                f"{MERGE_MODES}"
+            )
+        # Guards the lazy prefetch-resource build: live-path replays run
+        # outside the service lock, so two can race into first use.
+        self._config_lock = threading.Lock()
+
+    def bind_live(self, session: "LiveTrainingSession") -> "UnlearningService":
+        """Attach a :class:`~repro.fl.live.LiveTrainingSession`.
+
+        Switches every erasure workflow to the snapshot-isolated live
+        path: replays pin a :meth:`~repro.fl.live.LiveTrainingSession.pin_snapshot`
+        and run lock-free; commits merge into the live model under the
+        train gate (see :meth:`_erase_live`).  ``record`` is repointed
+        at the session's live view so bookkeeping (active clients,
+        storage bytes) tracks training.  Returns self for chaining.
+        """
+        self.live_session = session
+        self.record = session.live_record
+        return self
 
     @property
     def lock(self) -> threading.RLock:
@@ -209,15 +294,17 @@ class UnlearningService:
         depth = self._effective_prefetch_depth()
         if depth <= 0:
             return 0, None, None
-        if self._decode_cache is None:
-            self._decode_cache = RoundDecodeCache(
-                max_bytes=self.decode_cache_bytes
-            )
-        if self._prefetch_executor is None:
-            # Readahead-queue sizing: several in-flight rounds may block
-            # on storage concurrently (cold blocks, remote tiers).
-            self._prefetch_executor = make_executor("thread", min(depth, 4))
-        return depth, self._decode_cache, self._prefetch_executor
+        with self._config_lock:
+            if self._decode_cache is None:
+                self._decode_cache = RoundDecodeCache(
+                    max_bytes=self.decode_cache_bytes
+                )
+            if self._prefetch_executor is None:
+                # Readahead-queue sizing: several in-flight rounds may
+                # block on storage concurrently (cold blocks, remote
+                # tiers).
+                self._prefetch_executor = make_executor("thread", min(depth, 4))
+            return depth, self._decode_cache, self._prefetch_executor
 
     def drain_prefetch(self, blocking: bool = True) -> bool:
         """Tear down the shared prefetch resources (decode thread pool
@@ -226,12 +313,16 @@ class UnlearningService:
         after its workers have drained.  The next replay lazily rebuilds
         both, so the service stays usable afterwards.
 
-        With ``blocking=False`` the drain is skipped (returning
-        ``False``) when a replay currently holds the service lock — a
-        timed-out daemon ``stop`` must not hang behind an in-flight
-        request."""
+        With ``blocking=False``, a replay currently holding the service
+        lock raises :class:`ServiceBusyError` (carrying a suggested
+        ``retry_after``) — a timed-out daemon ``stop`` must not hang
+        behind an in-flight request, but the caller deserves to know the
+        drain did not happen."""
         if not self._lock.acquire(blocking=blocking):
-            return False
+            raise ServiceBusyError(
+                "a replay holds the service lock; prefetch drain skipped",
+                retry_after=0.05,
+            )
         try:
             if self._prefetch_executor is not None:
                 self._prefetch_executor.close()
@@ -264,6 +355,8 @@ class UnlearningService:
         mode: str = "single",
         cancel_check: Optional[Callable[[], None]] = None,
     ) -> ErasureOutcome:
+        if self.live_session is not None:
+            return self._erase_live(client_ids, mode=mode, cancel_check=cancel_check)
         with self._lock:
             client_ids = sorted(set(int(c) for c in client_ids))
             already = set(self._erased) & set(client_ids)
@@ -306,6 +399,205 @@ class UnlearningService:
             purged_records=purged,
             cached_prefix_rounds=unlearner.last_cached_prefix_rounds,
         )
+
+    def _count_stored(self, client_ids: Sequence[int], num_rounds: int) -> int:
+        """Stored gradient records the given clients hold in rounds
+        ``[0, num_rounds)`` — the count a purge will delete."""
+        store = self.record.gradients
+        return sum(
+            1
+            for t in range(num_rounds)
+            for cid in client_ids
+            if store.has(t, cid)
+        )
+
+    def _erase_live(
+        self,
+        client_ids: Sequence[int],
+        mode: str = "single",
+        cancel_check: Optional[Callable[[], None]] = None,
+    ) -> ErasureOutcome:
+        """Snapshot-isolated erasure against a live training session.
+
+        Two-phase optimistic scheme:
+
+        **Phase 1 (lock-free)** — validate and pin a
+        :class:`~repro.fl.live.RecordSnapshot` under a short service
+        lock, then replay the counterfactual against the pinned view
+        with *no* lock held: training rounds keep committing past the
+        watermark ``W`` while the replay runs, and the replay forest
+        caches the resulting ``[F, W)`` trajectory.
+
+        **Phase 2 (commit)** — under the service lock and the session's
+        train gate, detect conflicts (a concurrent erasure changed the
+        forget set: retry phase 1, forest-hot), then fold the
+        counterfactual into the rounds trained past ``W`` per
+        ``merge_mode``:
+
+        - ``"replay"`` (exact, default): re-run the unlearner over the
+          live record at the commit round ``T'`` — the forest serves
+          the cached prefix, so only the ``[W, T')`` tail executes
+          under the gate.  Byte-identical to stopping the world at
+          ``T'``.
+        - ``"project"``: FedOSD conflict-projected task-vector merge.
+        - ``"npg"``: negated pseudo-gradient tail correction.
+
+        The merged model is installed as the live global model (and the
+        checkpoint at ``T'``), the erased clients are excluded from all
+        future rounds, and their stored gradients are purged — deferred
+        through the snapshot registry until the last pinned reader
+        drains.
+        """
+        session = self.live_session
+        assert session is not None
+        telemetry = current_telemetry()
+        conflicts = 0
+        while True:
+            # ---- phase 1: validate + pin (short lock) ----------------
+            with self._lock:
+                ids = sorted(set(int(c) for c in client_ids))
+                already = set(self._erased) & set(ids)
+                if already:
+                    raise ValueError(
+                        f"clients {sorted(already)} were already erased"
+                    )
+                snap = session.pin_snapshot()
+                base_erased = tuple(sorted(self._erased))
+                forget = sorted(set(ids) | set(base_erased))
+            if telemetry.enabled:
+                telemetry.inc("service_snapshot_pins_total")
+                telemetry.set_gauge(
+                    "service_snapshot_active", session.registry.active_pins()
+                )
+                telemetry.set_gauge("service_snapshot_watermark", snap.watermark)
+            try:
+                # Lock-free replay over the pinned view; an abort
+                # (deadline, cancellation) propagates before anything
+                # mutates, and the partial trajectory stays in the
+                # forest.
+                unlearner = self._unlearner(cancel_check)
+                phase1 = unlearner.unlearn(snap, forget, self.model)
+                watermark = snap.watermark
+                base_params = snap.params_at_watermark
+            finally:
+                snap.release()
+                if telemetry.enabled:
+                    telemetry.set_gauge(
+                        "service_snapshot_active", session.registry.active_pins()
+                    )
+            # ---- phase 2: conflict check + merge commit --------------
+            with self._lock:
+                if tuple(sorted(self._erased)) != base_erased:
+                    conflicts += 1
+                    if telemetry.enabled:
+                        telemetry.inc("service_snapshot_conflicts_total")
+                    if conflicts > self.max_commit_retries:
+                        raise RuntimeError(
+                            f"erasure of {ids} lost {conflicts} commit races; "
+                            f"giving up"
+                        )
+                    _log.info(
+                        "live erasure of %s: forget set changed during replay, "
+                        "retrying (attempt %d)", ids, conflicts + 1,
+                    )
+                    continue
+                with telemetry.span("service_merge_seconds"):
+                    with session.commit_gate() as commit_round:
+                        fresh = session.pin_snapshot()
+                        try:
+                            tail_rounds = commit_round - watermark
+                            if tail_rounds == 0:
+                                # Nothing trained past the watermark:
+                                # the counterfactual *is* the merge.
+                                final, merged = phase1, phase1.params
+                                mode_used = "replay"
+                            elif self.merge_mode == "replay":
+                                # Exact: tail-delta replay through the
+                                # forest — [F, W) is served from the
+                                # phase-1 node, only [W, T') executes
+                                # here under the gate.
+                                tail = self._unlearner(cancel_check)
+                                final = tail.unlearn(fresh, forget, self.model)
+                                merged = final.params
+                                mode_used = "replay"
+                            elif self.merge_mode == "project":
+                                merged = conflict_projected_merge(
+                                    base_params,
+                                    phase1.params,
+                                    fresh.final_params(),
+                                )
+                                final, mode_used = phase1, "project"
+                            else:  # "npg"
+                                merged = (
+                                    phase1.params
+                                    + (fresh.final_params() - base_params)
+                                    + negated_pseudo_gradient_tail(
+                                        fresh, ids, watermark, commit_round
+                                    )
+                                )
+                                final, mode_used = phase1, "npg"
+                            session.install_params(merged)
+                            session.exclude(ids)
+                        finally:
+                            fresh.release()
+                # Physical reclamation: defer behind the snapshot
+                # registry so a still-pinned reader never loses rounds
+                # below its watermark mid-replay.
+                purged = self._count_stored(ids, commit_round)
+                store = self.record.gradients
+                decode_cache = self._decode_cache
+
+                def _purge(cids=tuple(ids)):
+                    for cid in cids:
+                        store.drop_client(cid)
+                        if decode_cache is not None:
+                            decode_cache.discard_client(store, cid)
+
+                ran_now = session.registry.defer(_purge)
+                if not ran_now and telemetry.enabled:
+                    telemetry.inc(
+                        "service_snapshot_deferred_drops_total", len(ids)
+                    )
+                self._erased.extend(ids)
+                self.record.metadata["erased_clients"] = sorted(self._erased)
+                self.record.metadata.setdefault("merge_commits", []).append(
+                    {
+                        "clients": list(ids),
+                        "watermark": int(watermark),
+                        "commit_round": int(commit_round),
+                        "mode": mode_used,
+                        "conflicts": int(conflicts),
+                    }
+                )
+            if telemetry.enabled:
+                telemetry.inc("service_erasure_requests_total", 1, mode=mode)
+                telemetry.inc("service_merge_commits_total", 1, mode=mode_used)
+                telemetry.observe(
+                    "service_merge_tail_rounds", float(commit_round - watermark)
+                )
+            _log.info(
+                "live-erased clients %s: pinned at round %d, committed at %d "
+                "(%s merge, %d tail rounds, %d conflicts), purged %d records%s",
+                ids,
+                watermark,
+                commit_round,
+                mode_used,
+                commit_round - watermark,
+                conflicts,
+                purged,
+                "" if ran_now else " (deferred)",
+            )
+            return ErasureOutcome(
+                forgotten=ids,
+                params=merged,
+                result=final,
+                purged_records=purged,
+                cached_prefix_rounds=unlearner.last_cached_prefix_rounds,
+                snapshot_watermark=watermark,
+                commit_round=commit_round,
+                merge_mode=mode_used,
+                commit_conflicts=conflicts,
+            )
 
     def _plan_batch(self, client_ids: Sequence[int]) -> List[int]:
         """Validate a batch upfront and log its merged replay plan.
@@ -389,8 +681,15 @@ class UnlearningService:
             return []
         # Hold the lock across plan + serve so the upfront validation
         # stays true for the whole batch (no interleaved erasure can
-        # invalidate the plan mid-batch).
-        with self._lock:
+        # invalidate the plan mid-batch).  Against a live session the
+        # train gate is held too: batch semantics are cumulative, so the
+        # whole batch commits against one frozen record (single live
+        # erasures — the latency-sensitive path — stay lock-free).
+        gate = (
+            self.live_session.gate if self.live_session is not None
+            else nullcontext()
+        )
+        with self._lock, gate:
             erased = set(self._erased)
             fresh = [c for c in ids if c not in erased]
             skipped = sorted(set(ids) & erased)
@@ -464,7 +763,11 @@ class UnlearningService:
             return report
         from repro.unlearning.forest import fused_unlearn
 
-        with self._lock:
+        gate = (
+            self.live_session.gate if self.live_session is not None
+            else nullcontext()
+        )
+        with self._lock, gate:
             known = set(self.record.ledger.known_clients())
             seen = set(self._erased)
             cumulative = set(self._erased)
@@ -511,11 +814,28 @@ class UnlearningService:
                     report.errors[k] = branch.error
                     first_failure = j
                     continue
-                purged = self.record.gradients.drop_client(ids[k])
-                if self._decode_cache is not None:
-                    self._decode_cache.discard_client(
-                        self.record.gradients, ids[k]
-                    )
+                if self.live_session is not None:
+                    # Deferred reclamation, same as the single live
+                    # path: a phase-1 reader pinned before this batch
+                    # took the gate may still be replaying.
+                    purged = self._count_stored([ids[k]], self.record.num_rounds)
+                    store = self.record.gradients
+                    cache = self._decode_cache
+
+                    def _purge(cid=ids[k], store=store, cache=cache):
+                        store.drop_client(cid)
+                        if cache is not None:
+                            cache.discard_client(store, cid)
+
+                    if not self.live_session.registry.defer(_purge):
+                        if telemetry.enabled:
+                            telemetry.inc("service_snapshot_deferred_drops_total")
+                else:
+                    purged = self.record.gradients.drop_client(ids[k])
+                    if self._decode_cache is not None:
+                        self._decode_cache.discard_client(
+                            self.record.gradients, ids[k]
+                        )
                 self._erased.append(ids[k])
                 self.record.metadata["erased_clients"] = sorted(self._erased)
                 if telemetry.enabled:
@@ -528,6 +848,21 @@ class UnlearningService:
                     cached_prefix_rounds=branch.cached_prefix_rounds,
                 )
             committed = sum(1 for o in report.outcomes if o is not None)
+            if self.live_session is not None and committed:
+                # The gate froze training for the whole fused call, so
+                # the deepest committed counterfactual *is* the merge.
+                last = next(
+                    o for o in reversed(report.outcomes) if o is not None
+                )
+                self.live_session.install_params(last.params)
+                self.live_session.exclude(
+                    [c for o in report.outcomes if o is not None
+                     for c in o.forgotten]
+                )
+                if telemetry.enabled:
+                    telemetry.inc(
+                        "service_merge_commits_total", committed, mode="replay"
+                    )
             _log.info(
                 "fused batch: %d/%d committed (%d node-rounds for %d member-"
                 "rounds, %d forks)",
@@ -556,7 +891,12 @@ class UnlearningService:
     ) -> Optional[ErasureOutcome]:
         """Scenario 3: detect poisoners from the stored history and
         erase them.  Returns ``None`` when nothing is flagged."""
-        report = detect_malicious_clients(self.record, z_threshold=z_threshold)
+        gate = (
+            self.live_session.gate if self.live_session is not None
+            else nullcontext()
+        )
+        with gate:
+            report = detect_malicious_clients(self.record, z_threshold=z_threshold)
         if not report.flagged:
             _log.info("attacker scan: nothing flagged")
             return None
@@ -584,16 +924,39 @@ class UnlearningService:
         """Current server storage footprint."""
         return self.record.storage_bytes()
 
-    def persist(self, directory: str) -> None:
+    def persist(self, directory: str, drain_timeout: float = 30.0) -> None:
         """Checkpoint the (possibly already-purged) record to disk.
 
         Snapshots under the service lock: a checkpoint taken while
         erasure requests are in flight waits for the current request to
         commit, so the written record (and its manifest) is always a
         consistent post-erasure state — never a store mid-purge.
+
+        Against a live session the snapshot registry is drained first —
+        the written record must not contain payloads a committed
+        erasure already logically deleted — and the train gate is held
+        for the write.  Raises :class:`ServiceBusyError` when pinned
+        readers do not drain within ``drain_timeout`` seconds.
         """
+        session = self.live_session
+        if session is None:
+            with self._lock:
+                save_record(self.record, directory)
+            return
+        # Best-effort flush outside the locks (never wait for pinned
+        # readers while holding the lock their commit needs).
+        session.registry.drain(timeout=drain_timeout)
         with self._lock:
-            save_record(self.record, directory)
+            with session.commit_gate():
+                # No new pin can be taken while the gate is held, and
+                # in-flight phase-1 readers release without the lock —
+                # this drain terminates or times out cleanly.
+                if not session.registry.drain(timeout=drain_timeout):
+                    raise ServiceBusyError(
+                        "snapshot readers still active; retry persist",
+                        retry_after=1.0,
+                    )
+                save_record(self.record, directory)
 
     @classmethod
     def restore(
